@@ -1,0 +1,97 @@
+// Benchmarks that regenerate the paper's tables and figures. One benchmark
+// per table/figure (quick scale; run cmd/albatross-bench for the full-
+// scale reproduction), plus end-to-end packet-path microbenchmarks.
+//
+//	go test -bench=. -benchmem
+package albatross
+
+import (
+	"testing"
+
+	"albatross/internal/eval"
+)
+
+// benchExperiment runs a registered paper experiment once per iteration
+// and fails the benchmark if its shape checks fail.
+func benchExperiment(b *testing.B, id string) {
+	exp, ok := eval.Find(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	cfg := eval.Config{Seed: 1, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := exp.Run(cfg)
+		if !r.Passed() {
+			b.Fatalf("%s failed: %v", id, r.FailedChecks())
+		}
+	}
+}
+
+// Tables.
+func BenchmarkTable3_ServiceThroughput(b *testing.B) { benchExperiment(b, "tab3") }
+func BenchmarkTable4_PipelineLatency(b *testing.B)   { benchExperiment(b, "tab4") }
+func BenchmarkTable5_FPGAResources(b *testing.B)     { benchExperiment(b, "tab5") }
+func BenchmarkTable6_LPMScale(b *testing.B)          { benchExperiment(b, "tab6") }
+
+// Figures.
+func BenchmarkFig4_PLBvsRSS(b *testing.B)             { benchExperiment(b, "fig4") }
+func BenchmarkFig5_CacheHitRate(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkFig7_BGPProxy(b *testing.B)             { benchExperiment(b, "fig7") }
+func BenchmarkFig8_LoadBalance(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkFig9_P99Latency(b *testing.B)           { benchExperiment(b, "fig9") }
+func BenchmarkFig10_UtilStddev(b *testing.B)          { benchExperiment(b, "fig10") }
+func BenchmarkFig11_LatencyDistribution(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12_DropFlag(b *testing.B)            { benchExperiment(b, "fig12") }
+func BenchmarkFig13_WithoutRateLimiter(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14_WithRateLimiter(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkFig15_AZCost(b *testing.B)              { benchExperiment(b, "fig15") }
+func BenchmarkFig16_NUMA(b *testing.B)                { benchExperiment(b, "fig16") }
+func BenchmarkFig17_NUMABalancing(b *testing.B)       { benchExperiment(b, "fig17") }
+
+// Appendix and extension experiments.
+func BenchmarkSplitPCIeSavings(b *testing.B)  { benchExperiment(b, "split") }
+func BenchmarkPriorityIsolation(b *testing.B) { benchExperiment(b, "priority") }
+func BenchmarkElasticity(b *testing.B)        { benchExperiment(b, "elasticity") }
+func BenchmarkSessionOffload(b *testing.B)    { benchExperiment(b, "offload") }
+
+// Ablations.
+func BenchmarkMemoryFrequency(b *testing.B)      { benchExperiment(b, "memfreq") }
+func BenchmarkMetaPlacement(b *testing.B)        { benchExperiment(b, "meta") }
+func BenchmarkStatefulNF(b *testing.B)           { benchExperiment(b, "stateful") }
+func BenchmarkTwoStageMemory(b *testing.B)       { benchExperiment(b, "gopmem") }
+func BenchmarkDriverTuning(b *testing.B)         { benchExperiment(b, "driver") }
+func BenchmarkLLCPrefetch(b *testing.B)          { benchExperiment(b, "tuning") }
+func BenchmarkReorderQueueTradeoff(b *testing.B) { benchExperiment(b, "ordq") }
+func BenchmarkPodIsolation(b *testing.B)         { benchExperiment(b, "isolation") }
+
+// BenchmarkPacketPath measures the end-to-end virtual packet path
+// (inject -> classify -> PLB dispatch -> core -> service -> reorder ->
+// egress) in real ns per simulated packet.
+func BenchmarkPacketPath(b *testing.B) {
+	node, err := NewNode(NodeConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows := GenerateFlows(10000, 100, 1)
+	pod, err := node.AddPod(PodConfig{
+		Spec:  PodSpec{Name: "gw", Service: VPCVPC, DataCores: 8, CtrlCores: 2},
+		Flows: ServiceFlows(flows, 0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pod.Inject(flows[i%len(flows)], 256)
+		if i%256 == 255 {
+			node.Engine.Run()
+		}
+	}
+	node.Engine.Run()
+	b.StopTimer()
+	if pod.Tx == 0 {
+		b.Fatal("no packets emitted")
+	}
+}

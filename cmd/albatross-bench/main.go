@@ -1,0 +1,72 @@
+// Command albatross-bench regenerates the tables and figures of the
+// Albatross paper's evaluation (§6) on the simulation substrate and checks
+// each result's shape against the paper.
+//
+// Usage:
+//
+//	albatross-bench               # run every experiment at full scale
+//	albatross-bench -quick        # reduced scale (seconds, not minutes)
+//	albatross-bench -exp fig8,tab3
+//	albatross-bench -list
+//
+// The process exits nonzero if any shape check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"albatross/internal/eval"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		quick   = flag.Bool("quick", false, "reduced scale for fast runs")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range eval.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []eval.Experiment
+	if *expFlag == "all" {
+		selected = eval.Experiments()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := eval.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := eval.Config{Seed: *seed, Quick: *quick}
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		r := e.Run(cfg)
+		fmt.Println(r)
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if !r.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed shape checks\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d experiments passed their shape checks\n", len(selected))
+}

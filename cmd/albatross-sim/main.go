@@ -1,0 +1,197 @@
+// Command albatross-sim runs one configurable Albatross gateway simulation
+// and prints a throughput/latency summary — a workbench for exploring the
+// platform outside the canned paper experiments.
+//
+// Example:
+//
+//	albatross-sim -service vpc-internet -mode plb -cores 8 -flows 100000 \
+//	              -rate 4e6 -duration 500ms -limiter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"albatross"
+	"albatross/internal/packet"
+)
+
+var serviceNames = map[string]albatross.ServiceType{
+	"vpc-vpc":          albatross.VPCVPC,
+	"vpc-internet":     albatross.VPCInternet,
+	"vpc-idc":          albatross.VPCIDC,
+	"vpc-cloudservice": albatross.VPCCloudService,
+}
+
+func main() {
+	var (
+		svcName  = flag.String("service", "vpc-vpc", "gateway service: vpc-vpc | vpc-internet | vpc-idc | vpc-cloudservice")
+		modeName = flag.String("mode", "plb", "load balancing: plb | rss")
+		cores    = flag.Int("cores", 8, "data cores for the pod")
+		flows    = flag.Int("flows", 100000, "concurrent flows")
+		tenants  = flag.Int("tenants", 1000, "tenant count (VNIs)")
+		rate     = flag.Float64("rate", 2e6, "offered packets/second")
+		duration = flag.Duration("duration", 200*time.Millisecond, "virtual run time")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		limiter  = flag.Bool("limiter", false, "enable tenant overload rate limiting")
+		denied   = flag.Float64("acl-denied", 0, "fraction of flows ACL-denied (0..1)")
+		report   = flag.Bool("report", false, "print the full node report at the end")
+		pcapOut  = flag.String("pcap", "", "write a sample of generated traffic (first 1000 packets) to this pcap file")
+	)
+	flag.Parse()
+
+	svc, ok := serviceNames[strings.ToLower(*svcName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown service %q\n", *svcName)
+		os.Exit(2)
+	}
+	mode := albatross.ModePLB
+	if strings.EqualFold(*modeName, "rss") {
+		mode = albatross.ModeRSS
+	}
+
+	cfg := albatross.NodeConfig{Seed: *seed}
+	if *limiter {
+		lc := albatross.DefaultLimiterConfig()
+		cfg.Limiter = &lc
+	}
+	node, err := albatross.NewNode(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	wf := albatross.GenerateFlows(*flows, *tenants, *seed)
+	pod, err := node.AddPod(albatross.PodConfig{
+		Spec: albatross.PodSpec{
+			Name: "gw0", Service: svc,
+			DataCores: *cores, CtrlCores: 2, Mode: mode,
+		},
+		Flows: albatross.ServiceFlows(wf, *denied),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sink := pod.Sink()
+	var capture *pcapCapture
+	if *pcapOut != "" {
+		var err error
+		capture, err = newPcapCapture(*pcapOut, 1000)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		inner := sink
+		node2 := node
+		sink = func(f albatross.Flow, bytes int) {
+			capture.record(node2.Engine.Now(), f, bytes)
+			inner(f, bytes)
+		}
+	}
+	src := &albatross.Source{
+		Flows: wf,
+		Rate:  albatross.ConstantRate(*rate),
+		Seed:  *seed + 1,
+		Sink:  sink,
+	}
+	if err := src.Start(node.Engine); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	wall := time.Now()
+	node.RunFor(albatross.Duration(duration.Nanoseconds()))
+	src.Stop()
+	node.RunFor(albatross.Millisecond) // drain in-flight packets
+
+	secs := duration.Seconds()
+	fmt.Printf("albatross-sim: %s %v pod, %d cores, %d flows, offered %.2f Mpps for %v (virtual)\n",
+		*svcName, mode, *cores, *flows, *rate/1e6, *duration)
+	fmt.Printf("  rx          %12d pkts (%.2f Mpps)\n", pod.Rx, float64(pod.Rx)/secs/1e6)
+	fmt.Printf("  tx          %12d pkts (%.2f Mpps)\n", pod.Tx, float64(pod.Tx)/secs/1e6)
+	fmt.Printf("  drops: nic=%d queue=%d plb=%d acl=%d\n",
+		pod.NICDrops, pod.QueueDrops, pod.PLBDrops, pod.ServiceDrop)
+	fmt.Printf("  latency     p50=%.1fµs p99=%.1fµs p99.9=%.1fµs max=%.1fµs\n",
+		float64(pod.Latency.Quantile(0.50))/1000,
+		float64(pod.Latency.Quantile(0.99))/1000,
+		float64(pod.Latency.Quantile(0.999))/1000,
+		float64(pod.Latency.Max())/1000)
+	if pod.PLB != nil {
+		s := pod.PLB.Stats()
+		fmt.Printf("  plb         in-order=%d best-effort=%d disorder=%.2e hol=%d timeout=%d dropflag=%d\n",
+			s.EmittedInOrder, s.EmittedBestEffort, s.DisorderRate(),
+			s.HOLEvents, s.TimeoutReleases, s.DropFlagReleases)
+	}
+	fmt.Printf("  wall time   %v\n", time.Since(wall).Round(time.Millisecond))
+	if capture != nil {
+		if err := capture.close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pcap:", err)
+		} else {
+			fmt.Printf("  pcap        %d packets -> %s\n", capture.n, *pcapOut)
+		}
+	}
+	if *report {
+		fmt.Println()
+		fmt.Print(node.Report())
+	}
+}
+
+// pcapCapture writes the first maxPkts generated packets, re-materialized
+// as real VXLAN wire bytes, to a pcap file readable by tcpdump/Wireshark.
+type pcapCapture struct {
+	f       *os.File
+	w       *packet.PcapWriter
+	builder *packet.Builder
+	max     int
+	n       int
+}
+
+func newPcapCapture(path string, maxPkts int) (*pcapCapture, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &pcapCapture{
+		f:       f,
+		w:       packet.NewPcapWriter(f, 0),
+		builder: packet.NewBuilder(2048),
+		max:     maxPkts,
+	}, nil
+}
+
+func (c *pcapCapture) record(now albatross.Time, f albatross.Flow, bytes int) {
+	if c.n >= c.max {
+		return
+	}
+	payload := bytes - 110
+	if payload < 0 {
+		payload = 0
+	}
+	if payload > 8500 {
+		payload = 8500
+	}
+	frame := packet.BuildVXLANPacket(c.builder, &packet.VXLANSpec{
+		OuterSrcMAC:  packet.MAC{0x02, 0, 0, 0, 0, 1},
+		OuterDstMAC:  packet.MAC{0x02, 0, 0, 0, 0, 2},
+		OuterSrc:     packet.IPv4Addr{100, 64, 0, 1},
+		OuterDst:     packet.IPv4Addr{100, 64, 0, 2},
+		OuterSrcPort: uint16(40000 + c.n%20000),
+		VNI:          f.VNI,
+		InnerSrc:     f.Tuple.Src,
+		InnerDst:     f.Tuple.Dst,
+		InnerProto:   f.Tuple.Proto,
+		InnerSPort:   f.Tuple.SPort,
+		InnerDPort:   f.Tuple.DPort,
+		PayloadLen:   payload,
+	})
+	if err := c.w.WritePacket(time.Duration(now), frame); err == nil {
+		c.n++
+	}
+}
+
+func (c *pcapCapture) close() error { return c.f.Close() }

@@ -1,0 +1,74 @@
+// Telemetry demo: Zoonet-style probe packets measure the per-stage latency
+// of a loaded gateway pod (NIC ingress, RX queue wait, service processing,
+// NIC egress), and the node report shows the operator's dashboard view.
+// Probes ride the RSS path, exactly like the stateful specials the paper's
+// pkt_dir keeps away from PLB (§3.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"albatross"
+)
+
+func main() {
+	node, err := albatross.NewNode(albatross.NodeConfig{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	flows := albatross.GenerateFlows(50000, 5000, 11)
+	pod, err := node.AddPod(albatross.PodConfig{
+		Spec: albatross.PodSpec{Name: "gw0", Service: albatross.VPCInternet,
+			DataCores: 4, CtrlCores: 2},
+		Flows: albatross.ServiceFlows(flows, 0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive the pod at three load points and probe at each.
+	for _, load := range []float64{0.2, 0.6, 0.9} {
+		capacityMpps := 4 * 0.9 // rough per-core Mpps at this scale
+		rate := load * capacityMpps * 1e6
+		src := &albatross.Source{Flows: flows, Rate: albatross.ConstantRate(rate),
+			Seed: 12, Sink: pod.Sink()}
+		if err := src.Start(node.Engine); err != nil {
+			log.Fatal(err)
+		}
+		node.RunFor(20 * albatross.Millisecond) // warm up the queues
+
+		var agg albatross.ProbeResult
+		probes := 0
+		for i := 0; i < 20; i++ {
+			f := flows[i*7]
+			node.Engine.After(albatross.Duration(i)*100*albatross.Microsecond, func() {
+				pod.InjectProbe(f, func(r albatross.ProbeResult) {
+					if r.Dropped {
+						return
+					}
+					probes++
+					agg.NICIngress += r.NICIngress
+					agg.QueueWait += r.QueueWait
+					agg.Service += r.Service
+					agg.NICEgress += r.NICEgress
+					agg.Total += r.Total
+				})
+			})
+		}
+		node.RunFor(10 * albatross.Millisecond)
+		src.Stop()
+		node.RunFor(5 * albatross.Millisecond) // drain
+
+		if probes == 0 {
+			log.Fatal("no probes returned")
+		}
+		d := albatross.Duration(probes)
+		fmt.Printf("load %.0f%%: nic-in=%v queue=%v service=%v nic-out=%v total=%v (%d probes)\n",
+			load*100, agg.NICIngress/d, agg.QueueWait/d, agg.Service/d,
+			agg.NICEgress/d, agg.Total/d, probes)
+	}
+
+	fmt.Println()
+	fmt.Print(node.Report())
+}

@@ -1,0 +1,3 @@
+module albatross
+
+go 1.24

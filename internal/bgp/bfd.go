@@ -1,0 +1,254 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// BFD (RFC 5880) asynchronous mode: each endpoint transmits control
+// packets at a negotiated interval; missing DetectMult consecutive packets
+// declares the session down. Albatross runs BFD next to BGP so link
+// failures are detected in milliseconds rather than waiting for the BGP
+// hold timer — which is also why BFD packets must ride the NIC pipeline's
+// priority queues: three lost BFD packets during dataplane overload would
+// take the whole link down (paper §4.3).
+
+// BFDState is a session state.
+type BFDState uint8
+
+// BFD states (RFC 5880 §4.1 State field values).
+const (
+	BFDAdminDown BFDState = 0
+	BFDDown      BFDState = 1
+	BFDInit      BFDState = 2
+	BFDUp        BFDState = 3
+)
+
+func (s BFDState) String() string {
+	switch s {
+	case BFDAdminDown:
+		return "admin-down"
+	case BFDDown:
+		return "down"
+	case BFDInit:
+		return "init"
+	case BFDUp:
+		return "up"
+	default:
+		return "invalid"
+	}
+}
+
+// bfdPacketLen is the mandatory section length (no auth).
+const bfdPacketLen = 24
+
+// BFDPacket is a BFD control packet's decoded fields.
+type BFDPacket struct {
+	Version    uint8
+	Diag       uint8
+	State      BFDState
+	DetectMult uint8
+	MyDisc     uint32
+	YourDisc   uint32
+	DesiredTx  uint32 // microseconds
+	RequiredRx uint32 // microseconds
+}
+
+// ErrBFDTruncated reports a short BFD packet.
+var ErrBFDTruncated = errors.New("bgp: truncated BFD packet")
+
+// EncodeBFD serializes a control packet.
+func EncodeBFD(p BFDPacket) []byte {
+	b := make([]byte, bfdPacketLen)
+	b[0] = 1<<5 | p.Diag&0x1f // version 1
+	b[1] = uint8(p.State) << 6
+	b[2] = p.DetectMult
+	b[3] = bfdPacketLen
+	binary.BigEndian.PutUint32(b[4:8], p.MyDisc)
+	binary.BigEndian.PutUint32(b[8:12], p.YourDisc)
+	binary.BigEndian.PutUint32(b[12:16], p.DesiredTx)
+	binary.BigEndian.PutUint32(b[16:20], p.RequiredRx)
+	// Required min echo RX = 0 (no echo mode).
+	return b
+}
+
+// DecodeBFD parses a control packet.
+func DecodeBFD(b []byte) (BFDPacket, error) {
+	if len(b) < bfdPacketLen {
+		return BFDPacket{}, ErrBFDTruncated
+	}
+	return BFDPacket{
+		Version:    b[0] >> 5,
+		Diag:       b[0] & 0x1f,
+		State:      BFDState(b[1] >> 6),
+		DetectMult: b[2],
+		MyDisc:     binary.BigEndian.Uint32(b[4:8]),
+		YourDisc:   binary.BigEndian.Uint32(b[8:12]),
+		DesiredTx:  binary.BigEndian.Uint32(b[12:16]),
+		RequiredRx: binary.BigEndian.Uint32(b[16:20]),
+	}, nil
+}
+
+// BFDConfig configures a session endpoint.
+type BFDConfig struct {
+	LocalDisc uint32
+	// TxInterval between control packets. Default 50ms.
+	TxInterval time.Duration
+	// DetectMult consecutive missed intervals declare failure. Default 3
+	// (the paper's "losing three consecutive BFD probe packets").
+	DetectMult int
+	// OnStateChange fires on every state transition.
+	OnStateChange func(BFDState)
+}
+
+// BFDSession runs BFD over a net.Conn (a UDP socket pair or net.Pipe).
+type BFDSession struct {
+	cfg  BFDConfig
+	conn net.Conn
+
+	mu         sync.Mutex
+	state      BFDState
+	remoteDisc uint32
+	lastRecv   time.Time
+	closed     bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewBFDSession creates a session in the Down state. Call Start.
+func NewBFDSession(conn net.Conn, cfg BFDConfig) *BFDSession {
+	if cfg.TxInterval <= 0 {
+		cfg.TxInterval = 50 * time.Millisecond
+	}
+	if cfg.DetectMult <= 0 {
+		cfg.DetectMult = 3
+	}
+	return &BFDSession{cfg: cfg, conn: conn, state: BFDDown, stop: make(chan struct{})}
+}
+
+// State returns the current session state.
+func (s *BFDSession) State() BFDState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+func (s *BFDSession) setState(st BFDState) {
+	s.mu.Lock()
+	if s.state == st {
+		s.mu.Unlock()
+		return
+	}
+	s.state = st
+	cb := s.cfg.OnStateChange
+	s.mu.Unlock()
+	if cb != nil {
+		cb(st)
+	}
+}
+
+// Start launches the transmit and receive loops.
+func (s *BFDSession) Start() {
+	s.wg.Add(2)
+	go s.txLoop()
+	go s.rxLoop()
+}
+
+func (s *BFDSession) txLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.TxInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			st := s.state
+			rd := s.remoteDisc
+			last := s.lastRecv
+			s.mu.Unlock()
+
+			// Detection timer: no packet within DetectMult*interval.
+			if st == BFDUp && !last.IsZero() &&
+				time.Since(last) > time.Duration(s.cfg.DetectMult)*s.cfg.TxInterval {
+				s.setState(BFDDown)
+			}
+			pkt := BFDPacket{
+				Version:    1,
+				State:      s.State(),
+				DetectMult: uint8(s.cfg.DetectMult),
+				MyDisc:     s.cfg.LocalDisc,
+				YourDisc:   rd,
+				DesiredTx:  uint32(s.cfg.TxInterval / time.Microsecond),
+				RequiredRx: uint32(s.cfg.TxInterval / time.Microsecond),
+			}
+			if _, err := s.conn.Write(EncodeBFD(pkt)); err != nil {
+				s.setState(BFDDown)
+				return
+			}
+		}
+	}
+}
+
+func (s *BFDSession) rxLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, bfdPacketLen)
+	for {
+		if _, err := io.ReadFull(s.conn, buf); err != nil {
+			select {
+			case <-s.stop:
+			default:
+				s.setState(BFDDown)
+			}
+			return
+		}
+		pkt, err := DecodeBFD(buf)
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		s.remoteDisc = pkt.MyDisc
+		s.lastRecv = time.Now()
+		st := s.state
+		s.mu.Unlock()
+
+		// RFC 5880 §6.2 three-way handshake (simplified).
+		switch st {
+		case BFDDown:
+			switch pkt.State {
+			case BFDDown:
+				s.setState(BFDInit)
+			case BFDInit:
+				s.setState(BFDUp)
+			}
+		case BFDInit:
+			if pkt.State == BFDInit || pkt.State == BFDUp {
+				s.setState(BFDUp)
+			}
+		case BFDUp:
+			if pkt.State == BFDDown || pkt.State == BFDAdminDown {
+				s.setState(BFDDown)
+			}
+		}
+	}
+}
+
+// Close stops the session.
+func (s *BFDSession) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	_ = s.conn.Close()
+	s.wg.Wait()
+}

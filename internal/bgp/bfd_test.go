@@ -1,0 +1,116 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBFDPacketRoundTrip(t *testing.T) {
+	p := BFDPacket{
+		Version: 1, Diag: 3, State: BFDUp, DetectMult: 3,
+		MyDisc: 0x11223344, YourDisc: 0x55667788,
+		DesiredTx: 50000, RequiredRx: 50000,
+	}
+	enc := EncodeBFD(p)
+	if len(enc) != bfdPacketLen {
+		t.Fatalf("len = %d", len(enc))
+	}
+	got, err := DecodeBFD(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip: %+v != %+v", got, p)
+	}
+	if _, err := DecodeBFD(enc[:10]); err != ErrBFDTruncated {
+		t.Fatal("truncated packet accepted")
+	}
+}
+
+func TestBFDStateStrings(t *testing.T) {
+	for st, want := range map[BFDState]string{
+		BFDAdminDown: "admin-down", BFDDown: "down", BFDInit: "init", BFDUp: "up",
+		BFDState(9): "invalid",
+	} {
+		if st.String() != want {
+			t.Errorf("%d = %q", st, st.String())
+		}
+	}
+}
+
+func TestBFDSessionComesUp(t *testing.T) {
+	ca, cb := newBufConnPair()
+	upA := make(chan BFDState, 16)
+	upB := make(chan BFDState, 16)
+	a := NewBFDSession(ca, BFDConfig{LocalDisc: 1, TxInterval: 10 * time.Millisecond,
+		OnStateChange: func(s BFDState) { upA <- s }})
+	b := NewBFDSession(cb, BFDConfig{LocalDisc: 2, TxInterval: 10 * time.Millisecond,
+		OnStateChange: func(s BFDState) { upB <- s }})
+	a.Start()
+	b.Start()
+	defer a.Close()
+	defer b.Close()
+
+	deadline := time.After(3 * time.Second)
+	for a.State() != BFDUp || b.State() != BFDUp {
+		select {
+		case <-deadline:
+			t.Fatalf("sessions never came up: %v / %v", a.State(), b.State())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestBFDDetectsFailureInThreeIntervals(t *testing.T) {
+	ca, cb := newBufConnPair()
+	downAt := make(chan time.Time, 4)
+	a := NewBFDSession(ca, BFDConfig{LocalDisc: 1, TxInterval: 20 * time.Millisecond, DetectMult: 3,
+		OnStateChange: func(s BFDState) {
+			if s == BFDDown {
+				downAt <- time.Now()
+			}
+		}})
+	b := NewBFDSession(cb, BFDConfig{LocalDisc: 2, TxInterval: 20 * time.Millisecond, DetectMult: 3})
+	a.Start()
+	b.Start()
+	defer a.Close()
+
+	// Wait for Up.
+	deadline := time.After(3 * time.Second)
+	for a.State() != BFDUp {
+		select {
+		case <-deadline:
+			t.Fatal("never up")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// Kill the peer: stop its transmissions (simulates a dead link whose
+	// BFD packets are lost).
+	killed := time.Now()
+	b.Close()
+
+	select {
+	case at := <-downAt:
+		elapsed := at.Sub(killed)
+		// DetectMult(3) x 20ms = 60ms budget; allow generous scheduling
+		// slack but require detection well under a second.
+		if elapsed > 800*time.Millisecond {
+			t.Fatalf("failure detected after %v, want ~60ms", elapsed)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("failure never detected")
+	}
+}
+
+func TestBFDDefaults(t *testing.T) {
+	ca, _ := newBufConnPair()
+	s := NewBFDSession(ca, BFDConfig{LocalDisc: 9})
+	if s.cfg.TxInterval != 50*time.Millisecond || s.cfg.DetectMult != 3 {
+		t.Fatalf("defaults = %+v", s.cfg)
+	}
+	if s.State() != BFDDown {
+		t.Fatal("initial state not down")
+	}
+	s.Close()
+	s.Close() // idempotent
+}

@@ -1,0 +1,184 @@
+package bgp
+
+import (
+	"sort"
+	"sync"
+)
+
+// Route is one path to a prefix learned from a peer.
+type Route struct {
+	Prefix Prefix
+	Attrs  PathAttrs
+	PeerID uint32 // router ID of the advertising peer
+}
+
+// RIB is a routing information base with best-path selection. It is safe
+// for concurrent use (speakers update it from their read loops).
+type RIB struct {
+	mu     sync.RWMutex
+	routes map[Prefix]map[uint32]Route // prefix -> peerID -> route
+}
+
+// NewRIB returns an empty RIB.
+func NewRIB() *RIB {
+	return &RIB{routes: make(map[Prefix]map[uint32]Route)}
+}
+
+// Update installs or replaces a peer's route. It reports whether the best
+// path for the prefix changed.
+func (r *RIB) Update(rt Route) bool {
+	rt.Prefix = rt.Prefix.Canonical()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	before, _ := r.bestLocked(rt.Prefix)
+	m := r.routes[rt.Prefix]
+	if m == nil {
+		m = make(map[uint32]Route)
+		r.routes[rt.Prefix] = m
+	}
+	m[rt.PeerID] = rt
+	after, _ := r.bestLocked(rt.Prefix)
+	return !routeEqual(before, after)
+}
+
+// routeEqual compares routes field-wise (Route holds a slice, so == is
+// unavailable).
+func routeEqual(a, b Route) bool {
+	if a.Prefix != b.Prefix || a.PeerID != b.PeerID {
+		return false
+	}
+	if a.Attrs.Origin != b.Attrs.Origin || a.Attrs.NextHop != b.Attrs.NextHop ||
+		a.Attrs.HasLP != b.Attrs.HasLP || a.Attrs.LocalPref != b.Attrs.LocalPref {
+		return false
+	}
+	if len(a.Attrs.ASPath) != len(b.Attrs.ASPath) {
+		return false
+	}
+	for i := range a.Attrs.ASPath {
+		if a.Attrs.ASPath[i] != b.Attrs.ASPath[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Withdraw removes a peer's route for a prefix. It reports whether the
+// best path changed (including disappearing).
+func (r *RIB) Withdraw(p Prefix, peerID uint32) bool {
+	p = p.Canonical()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	before, hadBefore := r.bestLocked(p)
+	m := r.routes[p]
+	if m == nil {
+		return false
+	}
+	if _, ok := m[peerID]; !ok {
+		return false
+	}
+	delete(m, peerID)
+	if len(m) == 0 {
+		delete(r.routes, p)
+	}
+	after, hasAfter := r.bestLocked(p)
+	return hadBefore != hasAfter || !routeEqual(before, after)
+}
+
+// WithdrawPeer removes every route learned from a peer (session death) and
+// returns the prefixes whose best path changed.
+func (r *RIB) WithdrawPeer(peerID uint32) []Prefix {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var changed []Prefix
+	for p, m := range r.routes {
+		if _, ok := m[peerID]; !ok {
+			continue
+		}
+		before, _ := r.bestLocked(p)
+		delete(m, peerID)
+		if len(m) == 0 {
+			delete(r.routes, p)
+			changed = append(changed, p)
+			continue
+		}
+		after, _ := r.bestLocked(p)
+		if !routeEqual(before, after) {
+			changed = append(changed, p)
+		}
+	}
+	return changed
+}
+
+// better reports whether a beats b under the (simplified) BGP decision
+// process: higher LOCAL_PREF, then shorter AS_PATH, then lower peer ID.
+func better(a, b Route) bool {
+	lpa, lpb := uint32(100), uint32(100)
+	if a.Attrs.HasLP {
+		lpa = a.Attrs.LocalPref
+	}
+	if b.Attrs.HasLP {
+		lpb = b.Attrs.LocalPref
+	}
+	if lpa != lpb {
+		return lpa > lpb
+	}
+	if len(a.Attrs.ASPath) != len(b.Attrs.ASPath) {
+		return len(a.Attrs.ASPath) < len(b.Attrs.ASPath)
+	}
+	return a.PeerID < b.PeerID
+}
+
+func (r *RIB) bestLocked(p Prefix) (Route, bool) {
+	m := r.routes[p]
+	if len(m) == 0 {
+		return Route{}, false
+	}
+	var best Route
+	first := true
+	for _, rt := range m {
+		if first || better(rt, best) {
+			best = rt
+			first = false
+		}
+	}
+	return best, true
+}
+
+// Best returns the best path for a prefix.
+func (r *RIB) Best(p Prefix) (Route, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.bestLocked(p.Canonical())
+}
+
+// Len returns the number of prefixes with at least one path.
+func (r *RIB) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.routes)
+}
+
+// Prefixes returns all prefixes in deterministic order.
+func (r *RIB) Prefixes() []Prefix {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Prefix, 0, len(r.routes))
+	for p := range r.routes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].Addr.Uint32(), out[j].Addr.Uint32()
+		if ai != aj {
+			return ai < aj
+		}
+		return out[i].Len < out[j].Len
+	})
+	return out
+}
+
+// PathCount returns the number of paths stored for a prefix.
+func (r *RIB) PathCount(p Prefix) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.routes[p.Canonical()])
+}

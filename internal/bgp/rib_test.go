@@ -1,0 +1,139 @@
+package bgp
+
+import (
+	"testing"
+
+	"albatross/internal/packet"
+)
+
+func route(p Prefix, peer uint32, aspath []uint16, lp uint32) Route {
+	attrs := PathAttrs{ASPath: aspath, NextHop: packet.IPv4Addr{1, 1, 1, 1}}
+	if lp > 0 {
+		attrs.LocalPref = lp
+		attrs.HasLP = true
+	}
+	return Route{Prefix: p, Attrs: attrs, PeerID: peer}
+}
+
+func TestRIBUpdateBest(t *testing.T) {
+	r := NewRIB()
+	p := pfx(10, 0, 0, 0, 24)
+	if changed := r.Update(route(p, 1, []uint16{65001}, 0)); !changed {
+		t.Fatal("first route should change best")
+	}
+	if r.Len() != 1 || r.PathCount(p) != 1 {
+		t.Fatalf("len=%d paths=%d", r.Len(), r.PathCount(p))
+	}
+	// Shorter AS path wins.
+	if changed := r.Update(route(p, 2, nil, 0)); !changed {
+		t.Fatal("better route should change best")
+	}
+	best, ok := r.Best(p)
+	if !ok || best.PeerID != 2 {
+		t.Fatalf("best = %+v", best)
+	}
+	// Worse route does not change best.
+	if changed := r.Update(route(p, 3, []uint16{1, 2, 3}, 0)); changed {
+		t.Fatal("worse route changed best")
+	}
+	if r.PathCount(p) != 3 {
+		t.Fatalf("paths = %d", r.PathCount(p))
+	}
+}
+
+func TestRIBLocalPrefDominates(t *testing.T) {
+	r := NewRIB()
+	p := pfx(10, 0, 0, 0, 24)
+	r.Update(route(p, 1, nil, 0))                    // LP default 100, empty path
+	r.Update(route(p, 2, []uint16{1, 2, 3, 4}, 200)) // LP 200, long path
+	best, _ := r.Best(p)
+	if best.PeerID != 2 {
+		t.Fatalf("best = peer %d, want LP-200 route", best.PeerID)
+	}
+}
+
+func TestRIBTieBreakPeerID(t *testing.T) {
+	r := NewRIB()
+	p := pfx(10, 0, 0, 0, 24)
+	r.Update(route(p, 7, []uint16{1}, 0))
+	r.Update(route(p, 3, []uint16{2}, 0))
+	best, _ := r.Best(p)
+	if best.PeerID != 3 {
+		t.Fatalf("tie break chose peer %d, want 3 (lowest)", best.PeerID)
+	}
+}
+
+func TestRIBWithdraw(t *testing.T) {
+	r := NewRIB()
+	p := pfx(10, 0, 0, 0, 24)
+	r.Update(route(p, 1, nil, 0))
+	r.Update(route(p, 2, []uint16{9}, 0))
+	// Withdrawing the non-best path: best unchanged.
+	if changed := r.Withdraw(p, 2); changed {
+		t.Fatal("withdrawing non-best changed best")
+	}
+	// Withdrawing the best path: changed, prefix gone.
+	if changed := r.Withdraw(p, 1); !changed {
+		t.Fatal("withdrawing best did not report change")
+	}
+	if _, ok := r.Best(p); ok {
+		t.Fatal("prefix still resolvable")
+	}
+	if r.Withdraw(p, 1) {
+		t.Fatal("double withdraw changed")
+	}
+	if r.Withdraw(pfx(99, 0, 0, 0, 8), 1) {
+		t.Fatal("withdraw of unknown prefix changed")
+	}
+}
+
+func TestRIBWithdrawPeer(t *testing.T) {
+	r := NewRIB()
+	p1, p2, p3 := pfx(10, 0, 0, 0, 24), pfx(10, 0, 1, 0, 24), pfx(10, 0, 2, 0, 24)
+	r.Update(route(p1, 1, nil, 0))
+	r.Update(route(p2, 1, nil, 0))
+	r.Update(route(p2, 2, []uint16{9}, 0))
+	r.Update(route(p3, 2, nil, 0))
+	changed := r.WithdrawPeer(1)
+	// p1 disappears (changed), p2 falls over to peer 2 (changed), p3
+	// untouched.
+	if len(changed) != 2 {
+		t.Fatalf("changed = %v", changed)
+	}
+	if _, ok := r.Best(p1); ok {
+		t.Fatal("p1 survives")
+	}
+	if best, ok := r.Best(p2); !ok || best.PeerID != 2 {
+		t.Fatal("p2 failover broken")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRIBPrefixesSorted(t *testing.T) {
+	r := NewRIB()
+	r.Update(route(pfx(10, 0, 2, 0, 24), 1, nil, 0))
+	r.Update(route(pfx(10, 0, 1, 0, 24), 1, nil, 0))
+	r.Update(route(pfx(10, 0, 1, 0, 25), 1, nil, 0))
+	got := r.Prefixes()
+	if len(got) != 3 {
+		t.Fatalf("prefixes = %v", got)
+	}
+	if got[0] != pfx(10, 0, 1, 0, 24) || got[1] != pfx(10, 0, 1, 0, 25) || got[2] != pfx(10, 0, 2, 0, 24) {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestRIBCanonicalizesPrefixes(t *testing.T) {
+	r := NewRIB()
+	// Same prefix written with host bits set must collapse to one entry.
+	r.Update(route(Prefix{Addr: packet.IPv4Addr{10, 0, 0, 5}, Len: 24}, 1, nil, 0))
+	r.Update(route(Prefix{Addr: packet.IPv4Addr{10, 0, 0, 9}, Len: 24}, 2, nil, 0))
+	if r.Len() != 1 {
+		t.Fatalf("len = %d, want canonical collapse", r.Len())
+	}
+	if r.PathCount(pfx(10, 0, 0, 0, 24)) != 2 {
+		t.Fatal("paths not merged")
+	}
+}

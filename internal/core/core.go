@@ -1,0 +1,511 @@
+// Package core assembles the full Albatross node: the FPGA NIC pipeline
+// (classification, overload protection, PLB dispatch/reorder, per-module
+// latencies), GW pods placed on the dual-NUMA server, per-pod gateway
+// services with cache-driven costs, and CPU cores — all driven by the
+// virtual-time engine.
+//
+// The packet path mirrors Fig. 1: ingress NIC pipeline (pkt_dir
+// classification + tenant overload rate limiting) → PLB spray or RSS hash
+// → CPU core RX queue → gateway service processing → TX back through
+// plb_reorder → egress NIC pipeline.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"albatross/internal/cachesim"
+	"albatross/internal/cpu"
+	"albatross/internal/gop"
+	"albatross/internal/nicsim"
+	"albatross/internal/packet"
+	"albatross/internal/plb"
+	"albatross/internal/pod"
+	"albatross/internal/rss"
+	"albatross/internal/service"
+	"albatross/internal/sim"
+	"albatross/internal/stats"
+	"albatross/internal/workload"
+)
+
+// NodeConfig parameterizes an Albatross server.
+type NodeConfig struct {
+	Seed uint64
+	// Server describes the hardware (zero value: production dual-NUMA).
+	Server pod.ServerConfig
+	// Cache is the per-NUMA L3 geometry (zero value: DefaultL3).
+	Cache cachesim.Config
+	// Mem prices cache hits/misses (zero value: DDR5-4800).
+	Mem cachesim.MemLatency
+	// NIC is the pipeline latency model (zero value: Tab. 4).
+	NIC nicsim.LatencyModel
+	// Limiter enables gateway overload protection when non-nil.
+	Limiter *gop.Config
+}
+
+// Node is one Albatross server.
+type Node struct {
+	Engine  *sim.Engine
+	Server  *pod.Server
+	Limiter *gop.Limiter
+
+	cfg    NodeConfig
+	caches []*cachesim.Cache
+	pods   []*PodRuntime
+}
+
+// NewNode creates a node.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Server.Topology.Nodes == 0 {
+		cfg.Server = pod.DefaultServerConfig()
+	}
+	if cfg.Cache.SizeBytes == 0 {
+		cfg.Cache = cachesim.DefaultL3()
+	}
+	if cfg.Mem == (cachesim.MemLatency{}) {
+		cfg.Mem = cachesim.DefaultLatency()
+	}
+	if cfg.NIC == (nicsim.LatencyModel{}) {
+		cfg.NIC = nicsim.DefaultLatencyModel()
+	}
+	server, err := pod.NewServer(cfg.Server)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		Engine: sim.NewEngine(),
+		Server: server,
+		cfg:    cfg,
+	}
+	for i := 0; i < cfg.Server.Topology.Nodes; i++ {
+		n.caches = append(n.caches, cachesim.New(cfg.Cache))
+	}
+	if cfg.Limiter != nil {
+		n.Limiter, err = gop.NewLimiter(*cfg.Limiter)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Cache returns NUMA node i's L3 model.
+func (n *Node) Cache(i int) *cachesim.Cache { return n.caches[i] }
+
+// Pods returns the deployed pod runtimes.
+func (n *Node) Pods() []*PodRuntime { return n.pods }
+
+// RunFor advances virtual time.
+func (n *Node) RunFor(d sim.Duration) { n.Engine.RunFor(d) }
+
+// PodConfig describes a gateway pod deployment.
+type PodConfig struct {
+	Spec pod.Spec
+	// Flows the pod's tables must know (its tenant state).
+	Flows []service.Flow
+	// QueueDepth is the per-core RX queue (default 1024 packets).
+	QueueDepth int
+	// DropFlagDisabled turns off the active drop flag (Fig. 12 ablation):
+	// CPU-side drops become silent and HOL-block the reorder FIFO.
+	DropFlagDisabled bool
+	// CrossNUMA applies the cross-NUMA penalties to the pod's service
+	// (Fig. 16 ablation; placement itself stays intra-node).
+	CrossNUMA bool
+	// JitterSigma is the lognormal sigma applied to service times, modeling
+	// the "complex software stack" latency jitter (default 0.25).
+	JitterSigma float64
+	// SlowPathProb injects rare slow-path excursions of SlowPathCost
+	// (paper §4.1 item 3: corner-case code branches). Default 0.
+	SlowPathProb float64
+	SlowPathCost sim.Duration
+	// MemoryMult scales memory latency (memory-frequency ablation).
+	MemoryMult float64
+	// HeaderSplit enables header-payload-split delivery (appendix §A):
+	// only headers cross PCIe; payloads wait in the NIC payload buffer
+	// until egress reassembly.
+	HeaderSplit bool
+	// PayloadBufferBytes sizes the NIC payload buffer for split mode
+	// (default 64MB). Undersizing it forces header drops on late returns.
+	PayloadBufferBytes int64
+}
+
+// headerSplitBytes is the PCIe transfer size for a split packet: parsed
+// headers (outer Ethernet/IPv4/UDP/VXLAN + inner stack, ~110B) plus the
+// PLB meta trailer.
+const headerSplitBytes = 110 + packet.MetaLen
+
+// pktCtx follows one packet through the pod.
+type pktCtx struct {
+	flow    workload.Flow
+	bytes   int
+	t0      sim.Time
+	meta    packet.Meta
+	drop    bool
+	class   nicsim.Class
+	queueAt sim.Time
+	viaPLB  bool
+	split   bool
+	payID   uint64
+	probe   *probeState
+}
+
+// PodRuntime is a deployed pod's dataplane.
+type PodRuntime struct {
+	node       *Node
+	Pod        *pod.Pod
+	Svc        *service.Service
+	Cores      []*cpu.Core
+	PLB        *plb.PLB
+	RSS        *rss.Engine
+	Classifier *nicsim.Classifier
+
+	cfg     PodConfig
+	rng     *sim.Rand
+	mode    pod.Mode // current mode; may change via FallbackToRSS
+	payload *nicsim.PayloadBuffer
+	nextPay uint64
+
+	// Latency is the end-to-end (wire to wire) latency histogram.
+	Latency *stats.Histogram
+	// CPULatency covers dispatch to CPU-return (the Fig. 11 processing
+	// latency).
+	CPULatency *stats.Histogram
+
+	// Counters.
+	Rx          uint64
+	Tx          uint64
+	NICDrops    uint64 // tenant overload rate limiting
+	QueueDrops  uint64 // core RX queue overflow
+	PLBDrops    uint64 // reorder FIFO full at dispatch
+	ServiceDrop uint64 // ACL/service drops
+	PriorityRx  uint64
+	PriorityTx  uint64
+
+	// TxPerTenant counts egress packets per VNI.
+	TxPerTenant map[uint32]uint64
+
+	// PCIe accounting (bytes DMA'd between NIC and CPU).
+	PCIeRxBytes uint64
+	PCIeTxBytes uint64
+	// HeaderDrops counts split-mode headers whose payload was evicted.
+	HeaderDrops uint64
+	// Fallbacks counts PLB->RSS mode switches.
+	Fallbacks uint64
+}
+
+// AddPod places and wires a gateway pod.
+func (n *Node) AddPod(cfg PodConfig) (*PodRuntime, error) {
+	p, err := n.Server.Place(cfg.Spec, n.Engine.Now())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.JitterSigma == 0 {
+		cfg.JitterSigma = 0.25
+	}
+	memMult := cfg.MemoryMult
+	if memMult == 0 {
+		memMult = 1
+	}
+	computeMult := 1.0
+	if cfg.CrossNUMA {
+		pen := cpu.DefaultPenalties()
+		memMult *= pen.CrossMemory
+		computeMult = pen.CrossCompute
+	}
+	svc, err := service.New(service.Config{
+		Type:        cfg.Spec.Service,
+		Cache:       n.caches[p.NUMANode],
+		Latency:     n.cfg.Mem,
+		MemoryMult:  memMult,
+		ComputeMult: computeMult,
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc.Populate(cfg.Flows)
+
+	pr := &PodRuntime{
+		node:        n,
+		Pod:         p,
+		Svc:         svc,
+		Classifier:  nicsim.DefaultClassifier(),
+		cfg:         cfg,
+		rng:         sim.NewRand(n.cfg.Seed ^ uint64(p.ID)<<32 ^ 0xA1BA),
+		mode:        cfg.Spec.Mode,
+		Latency:     stats.NewLatencyHistogram(),
+		CPULatency:  stats.NewLatencyHistogram(),
+		TxPerTenant: make(map[uint32]uint64),
+	}
+	if cfg.HeaderSplit {
+		pr.payload = nicsim.NewPayloadBuffer(cfg.PayloadBufferBytes)
+	}
+	for i := 0; i < cfg.Spec.DataCores; i++ {
+		pr.Cores = append(pr.Cores, cpu.NewCore(n.Engine, p.CoreIDs[i], cfg.QueueDepth))
+	}
+
+	switch cfg.Spec.Mode {
+	case pod.ModePLB:
+		pcfg := plb.DefaultConfig(p.ID, cfg.Spec.DataCores)
+		pcfg.NumOrderQueues = p.ReorderQueues
+		if pr.payload != nil {
+			pcfg.PayloadRetained = func(m packet.Meta, now sim.Time) bool {
+				return pr.payload.Has(payloadID(m))
+			}
+		}
+		pr.PLB, err = plb.New(n.Engine, pcfg, pr.onEmission)
+		if err != nil {
+			return nil, err
+		}
+	case pod.ModeRSS:
+		pr.RSS, err = rss.NewEngine(cfg.Spec.DataCores, 128)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n.pods = append(n.pods, pr)
+	return pr, nil
+}
+
+// payloadID derives the payload-buffer key from a PLB meta header.
+func payloadID(m packet.Meta) uint64 {
+	return uint64(m.PSN)<<48 ^ uint64(m.OrdQ)<<40 ^ uint64(m.IngressNS)&0xffffffffff
+}
+
+// Mode returns the pod's current load-balancing mode.
+func (pr *PodRuntime) Mode() pod.Mode { return pr.mode }
+
+// FallbackToRSS dynamically switches the pod from PLB to RSS mode (paper
+// §4.1 item 5: the last-resort HOL remediation). New packets are hashed by
+// flow; packets already in flight drain through the reorder engine.
+func (pr *PodRuntime) FallbackToRSS() error {
+	if pr.mode == pod.ModeRSS {
+		return nil
+	}
+	if pr.RSS == nil {
+		eng, err := rss.NewEngine(len(pr.Cores), 128)
+		if err != nil {
+			return err
+		}
+		pr.RSS = eng
+	}
+	pr.mode = pod.ModeRSS
+	pr.Fallbacks++
+	return nil
+}
+
+// Sink adapts the pod to a workload.Source sink.
+func (pr *PodRuntime) Sink() func(workload.Flow, int) {
+	return func(f workload.Flow, bytes int) { pr.Inject(f, bytes) }
+}
+
+// Inject runs one packet through the pod's full path.
+func (pr *PodRuntime) Inject(f workload.Flow, bytes int) {
+	n := pr.node
+	now := n.Engine.Now()
+	pr.Rx++
+
+	class, _ := pr.Classifier.ClassifyFlow(f.Tuple)
+
+	// Priority packets skip overload protection and the data path: they go
+	// straight through the priority queues to the ctrl cores.
+	if class == nicsim.ClassPriority {
+		pr.PriorityRx++
+		rt := n.cfg.NIC.RoundTrip(nicsim.ClassPriority)
+		t0 := now
+		n.Engine.After(rt, func() {
+			pr.PriorityTx++
+			pr.Latency.Record(int64(n.Engine.Now().Sub(t0)))
+		})
+		return
+	}
+
+	// Gateway overload protection in the NIC pipeline.
+	if n.Limiter != nil {
+		if n.Limiter.Process(f.VNI, now) == gop.VerdictDrop {
+			pr.NICDrops++
+			return
+		}
+	}
+
+	ctx := &pktCtx{flow: f, bytes: bytes, t0: now, class: class}
+
+	// Header-payload split: park the payload in the NIC buffer; only the
+	// headers (plus meta) cross PCIe.
+	if pr.payload != nil && class == nicsim.ClassPLB && bytes > headerSplitBytes {
+		ctx.split = true
+		pr.nextPay++
+		ctx.payID = pr.nextPay // provisional; rekeyed to meta at dispatch
+		pr.PCIeRxBytes += headerSplitBytes
+	} else {
+		pr.PCIeRxBytes += uint64(bytes) + packet.MetaLen
+	}
+
+	n.Engine.After(n.cfg.NIC.IngressLatency(class), func() { pr.dispatch(ctx) })
+}
+
+// serviceCost computes the packet's CPU demand and drop verdict.
+func (pr *PodRuntime) serviceCost(f workload.Flow) (sim.Duration, bool) {
+	res := pr.Svc.Process(f.Tuple, f.VNI)
+	cost := float64(res.Cost)
+	if pr.cfg.JitterSigma > 0 {
+		cost *= math.Exp(pr.rng.Norm(0, pr.cfg.JitterSigma))
+	}
+	if pr.cfg.SlowPathProb > 0 && pr.rng.Float64() < pr.cfg.SlowPathProb {
+		cost += float64(pr.cfg.SlowPathCost)
+	}
+	return sim.Duration(cost), res.Drop
+}
+
+func (pr *PodRuntime) dispatch(ctx *pktCtx) {
+	cost, drop := pr.serviceCost(ctx.flow)
+	ctx.drop = drop
+	ctx.queueAt = pr.node.Engine.Now()
+
+	switch {
+	case pr.mode == pod.ModePLB && pr.PLB != nil:
+		core, meta, ok := pr.PLB.Dispatch(ctx.flow.Tuple.Hash())
+		if !ok {
+			pr.PLBDrops++
+			return
+		}
+		if ctx.split {
+			meta.Flags |= packet.MetaFlagHeaderOnly
+			ctx.payID = payloadID(meta)
+			pr.payload.Store(ctx.payID, ctx.bytes-headerSplitBytes)
+		}
+		ctx.meta = meta
+		ctx.viaPLB = true
+		if !pr.Cores[core].Enqueue(ctx, cost, pr.onCPUDone) {
+			// RX queue overflow: the CPU never sees the packet; its FIFO
+			// entry stays until the 100µs timeout (a real HOL source).
+			pr.QueueDrops++
+		}
+	default:
+		q := pr.RSS.Queue(ctx.flow.Tuple)
+		if !pr.Cores[q].Enqueue(ctx, cost, pr.onCPUDone) {
+			pr.QueueDrops++
+		}
+	}
+}
+
+// onCPUDone is invoked in virtual time when a core finishes a packet.
+func (pr *PodRuntime) onCPUDone(item any) {
+	ctx := item.(*pktCtx)
+	now := pr.node.Engine.Now()
+	pr.CPULatency.Record(int64(now.Sub(ctx.queueAt)))
+
+	if ctx.viaPLB {
+		if ctx.drop {
+			pr.ServiceDrop++
+			if ctx.split {
+				// Release the parked payload with the packet.
+				pr.payload.Take(ctx.payID)
+			}
+			if pr.cfg.DropFlagDisabled {
+				// Silent drop: reorder resources leak until timeout.
+				return
+			}
+			ctx.meta.Flags |= packet.MetaFlagDrop
+			pr.PLB.Return(nil, ctx.meta)
+			return
+		}
+		pr.PLB.Return(ctx, ctx.meta)
+		return
+	}
+
+	// RSS path: no reordering needed.
+	if ctx.drop {
+		pr.ServiceDrop++
+		return
+	}
+	pr.egress(ctx, nicsim.ClassRSS)
+}
+
+// onEmission handles packets leaving plb_reorder.
+func (pr *PodRuntime) onEmission(em plb.Emission) {
+	ctx, ok := em.Item.(*pktCtx)
+	if !ok || ctx == nil {
+		return
+	}
+	if ctx.split {
+		// Egress reassembly: rejoin the parked payload. The PLB engine only
+		// emits header-only packets whose payload is retained; a missing
+		// payload here means the buffer evicted it between the legal check
+		// and emission — drop the header.
+		if !pr.payload.Take(ctx.payID) {
+			pr.HeaderDrops++
+			return
+		}
+	}
+	pr.egress(ctx, nicsim.ClassPLB)
+}
+
+func (pr *PodRuntime) egress(ctx *pktCtx, class nicsim.Class) {
+	n := pr.node
+	if ctx.split {
+		pr.PCIeTxBytes += headerSplitBytes
+	} else {
+		pr.PCIeTxBytes += uint64(ctx.bytes) + packet.MetaLen
+	}
+	n.Engine.After(n.cfg.NIC.EgressLatency(class), func() {
+		pr.Tx++
+		pr.TxPerTenant[ctx.flow.VNI]++
+		pr.Latency.Record(int64(n.Engine.Now().Sub(ctx.t0)))
+	})
+}
+
+// UtilSamplers returns one utilization sampler per data core.
+func (pr *PodRuntime) UtilSamplers() []*cpu.UtilSampler {
+	out := make([]*cpu.UtilSampler, len(pr.Cores))
+	for i, c := range pr.Cores {
+		out[i] = cpu.NewUtilSampler(c)
+	}
+	return out
+}
+
+// DisorderRate returns the pod's PLB disorder rate (0 for RSS pods).
+func (pr *PodRuntime) DisorderRate() float64 {
+	if pr.PLB == nil {
+		return 0
+	}
+	s := pr.PLB.Stats()
+	return s.DisorderRate()
+}
+
+// MeanServiceCost probes the pod's service with nProbes random known flows
+// and returns the mean per-packet CPU cost (used for analytic saturation
+// throughput, Tab. 3/Fig. 4).
+func (pr *PodRuntime) MeanServiceCost(flows []service.Flow, nProbes int) sim.Duration {
+	if len(flows) == 0 || nProbes <= 0 {
+		return 0
+	}
+	r := sim.NewRand(pr.node.cfg.Seed ^ 0xBEEF)
+	var total sim.Duration
+	for i := 0; i < nProbes; i++ {
+		f := flows[r.Intn(len(flows))]
+		res := pr.Svc.Process(f.Tuple, f.VNI)
+		total += res.Cost
+	}
+	return total / sim.Duration(nProbes)
+}
+
+// SaturationMpps estimates the pod's maximum packet rate in Mpps from the
+// measured mean service cost: cores / mean-cost.
+func (pr *PodRuntime) SaturationMpps(flows []service.Flow, nProbes int) float64 {
+	mean := pr.MeanServiceCost(flows, nProbes)
+	if mean <= 0 {
+		return 0
+	}
+	perCore := float64(sim.Second) / float64(mean) // pps per core
+	return perCore * float64(len(pr.Cores)) / 1e6
+}
+
+// String summarizes the pod.
+func (pr *PodRuntime) String() string {
+	return fmt.Sprintf("pod %q [%v %s, %d cores, %d ordq]",
+		pr.Pod.Spec.Name, pr.Pod.Spec.Service, pr.Pod.Spec.Mode,
+		len(pr.Cores), pr.Pod.ReorderQueues)
+}

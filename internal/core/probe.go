@@ -1,0 +1,112 @@
+package core
+
+import (
+	"albatross/internal/gop"
+	"albatross/internal/nicsim"
+	"albatross/internal/sim"
+	"albatross/internal/workload"
+)
+
+// ProbeResult is the per-stage latency breakdown a telemetry probe packet
+// collects on its way through the pod — the Zoonet-style proactive
+// measurement the paper's pkt_dir handles as an RSS-class special (probes
+// must not be PLB-sprayed, §3.2).
+type ProbeResult struct {
+	// NICIngress is wire-to-dispatch time (basic pipeline + DMA).
+	NICIngress sim.Duration
+	// QueueWait is RX-queue time before the core started the packet.
+	QueueWait sim.Duration
+	// Service is the gateway service processing time.
+	Service sim.Duration
+	// NICEgress is CPU-return-to-wire time.
+	NICEgress sim.Duration
+	// Total is end-to-end.
+	Total sim.Duration
+	// Dropped reports a probe discarded by the dataplane.
+	Dropped bool
+}
+
+// probeState accumulates the stamps while the probe is in flight.
+type probeState struct {
+	t0         sim.Time
+	dispatchAt sim.Time
+	startAt    sim.Time
+	cpuDoneAt  sim.Time
+	done       func(ProbeResult)
+}
+
+// InjectProbe sends one telemetry probe through the pod's RSS path and
+// invokes done (in virtual time) with the latency breakdown. Probes use
+// flow affinity like all stateful specials, so repeated probes of one flow
+// measure one core's queue.
+func (pr *PodRuntime) InjectProbe(f workload.Flow, done func(ProbeResult)) {
+	n := pr.node
+	now := n.Engine.Now()
+	pr.Rx++
+
+	if n.Limiter != nil {
+		if n.Limiter.Process(f.VNI, now) == gop.VerdictDrop {
+			pr.NICDrops++
+			done(ProbeResult{Dropped: true})
+			return
+		}
+	}
+	ctx := &pktCtx{
+		flow: f, bytes: 128, t0: now, class: nicsim.ClassRSS,
+		probe: &probeState{t0: now, done: done},
+	}
+	n.Engine.After(n.cfg.NIC.IngressLatency(nicsim.ClassRSS), func() { pr.probeDispatch(ctx) })
+}
+
+func (pr *PodRuntime) probeDispatch(ctx *pktCtx) {
+	now := pr.node.Engine.Now()
+	ctx.probe.dispatchAt = now
+	ctx.queueAt = now
+	cost, drop := pr.serviceCost(ctx.flow)
+	ctx.drop = drop
+
+	var q int
+	if pr.RSS != nil {
+		q = pr.RSS.Queue(ctx.flow.Tuple)
+	} else {
+		q = int(ctx.flow.Tuple.Hash() % uint32(len(pr.Cores)))
+	}
+	core := pr.Cores[q]
+	// Stamp the service start by subtracting the known cost at completion;
+	// queue wait = (doneAt - cost) - dispatchAt.
+	ctx.probe.startAt = 0 // computed at completion
+	probeCost := cost
+	if !core.Enqueue(ctx, cost, func(item any) {
+		c := item.(*pktCtx)
+		nowDone := pr.node.Engine.Now()
+		c.probe.cpuDoneAt = nowDone
+		c.probe.startAt = nowDone.Add(-probeCost)
+		pr.probeEgress(c)
+	}) {
+		pr.QueueDrops++
+		ctx.probe.done(ProbeResult{Dropped: true})
+	}
+}
+
+func (pr *PodRuntime) probeEgress(ctx *pktCtx) {
+	n := pr.node
+	if ctx.drop {
+		pr.ServiceDrop++
+		ctx.probe.done(ProbeResult{Dropped: true})
+		return
+	}
+	n.Engine.After(n.cfg.NIC.EgressLatency(nicsim.ClassRSS), func() {
+		now := n.Engine.Now()
+		pr.Tx++
+		pr.TxPerTenant[ctx.flow.VNI]++
+		pr.Latency.Record(int64(now.Sub(ctx.t0)))
+		st := ctx.probe
+		st.done(ProbeResult{
+			NICIngress: st.dispatchAt.Sub(st.t0),
+			QueueWait:  st.startAt.Sub(st.dispatchAt),
+			Service:    st.cpuDoneAt.Sub(st.startAt),
+			NICEgress:  now.Sub(st.cpuDoneAt),
+			Total:      now.Sub(st.t0),
+		})
+	})
+}

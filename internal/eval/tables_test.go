@@ -1,0 +1,117 @@
+package eval
+
+import "testing"
+
+func runQuick(t *testing.T, id string) *Result {
+	t.Helper()
+	exp, ok := Find(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	r := exp.Run(Config{Seed: 1, Quick: true})
+	if !r.Passed() {
+		t.Fatalf("%s failed checks: %v\n%s", id, r.FailedChecks(), r)
+	}
+	return r
+}
+
+func TestTab3(t *testing.T) {
+	r := runQuick(t, "tab3")
+	if r.Table == nil {
+		t.Fatal("no table")
+	}
+}
+
+func TestTab4(t *testing.T) { runQuick(t, "tab4") }
+func TestTab5(t *testing.T) { runQuick(t, "tab5") }
+func TestTab6(t *testing.T) { runQuick(t, "tab6") }
+
+func TestRegistrySorted(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 4 {
+		t.Fatalf("registry has %d experiments", len(exps))
+	}
+	for i := 1; i < len(exps); i++ {
+		if exps[i].ID < exps[i-1].ID {
+			t.Fatal("registry not sorted")
+		}
+	}
+	if _, ok := Find("definitely-not-there"); ok {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := &Result{ID: "x", Title: "t"}
+	r.check("good", true, "ok")
+	r.check("bad", false, "boom")
+	r.notef("a note")
+	out := r.String()
+	for _, want := range []string{"PASS", "FAIL", "a note", "== x: t =="} {
+		if !contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if r.Passed() {
+		t.Fatal("Passed with failing check")
+	}
+	if len(r.FailedChecks()) != 1 {
+		t.Fatal("FailedChecks count")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestFig4(t *testing.T) {
+	r := runQuick(t, "fig4")
+	t.Log("\n" + r.String())
+}
+
+func TestFig5(t *testing.T) {
+	r := runQuick(t, "fig5")
+	t.Log("\n" + r.String())
+}
+
+func TestFig8(t *testing.T)  { t.Log("\n" + runQuick(t, "fig8").String()) }
+func TestFig9(t *testing.T)  { t.Log("\n" + runQuick(t, "fig9").String()) }
+func TestFig10(t *testing.T) { t.Log("\n" + runQuick(t, "fig10").String()) }
+func TestFig11(t *testing.T) { t.Log("\n" + runQuick(t, "fig11").String()) }
+func TestFig12(t *testing.T) { t.Log("\n" + runQuick(t, "fig12").String()) }
+
+func TestFig13(t *testing.T) { t.Log("\n" + runQuick(t, "fig13").String()) }
+func TestFig14(t *testing.T) { t.Log("\n" + runQuick(t, "fig14").String()) }
+
+func TestFig15(t *testing.T) { t.Log("\n" + runQuick(t, "fig15").String()) }
+func TestFig16(t *testing.T) { t.Log("\n" + runQuick(t, "fig16").String()) }
+func TestFig17(t *testing.T) { t.Log("\n" + runQuick(t, "fig17").String()) }
+func TestFig7(t *testing.T)  { t.Log("\n" + runQuick(t, "fig7").String()) }
+
+func TestMemFreq(t *testing.T)  { t.Log("\n" + runQuick(t, "memfreq").String()) }
+func TestMeta(t *testing.T)     { t.Log("\n" + runQuick(t, "meta").String()) }
+func TestStateful(t *testing.T) { t.Log("\n" + runQuick(t, "stateful").String()) }
+func TestGopMem(t *testing.T)   { t.Log("\n" + runQuick(t, "gopmem").String()) }
+
+func TestSplit(t *testing.T)      { t.Log("\n" + runQuick(t, "split").String()) }
+func TestPriority(t *testing.T)   { t.Log("\n" + runQuick(t, "priority").String()) }
+func TestElasticity(t *testing.T) { t.Log("\n" + runQuick(t, "elasticity").String()) }
+func TestOffload(t *testing.T)    { t.Log("\n" + runQuick(t, "offload").String()) }
+
+func TestDriver(t *testing.T) { t.Log("\n" + runQuick(t, "driver").String()) }
+
+func TestTuning(t *testing.T) { t.Log("\n" + runQuick(t, "tuning").String()) }
+
+func TestOrdQ(t *testing.T) { t.Log("\n" + runQuick(t, "ordq").String()) }
+
+func TestIsolation(t *testing.T) { t.Log("\n" + runQuick(t, "isolation").String()) }

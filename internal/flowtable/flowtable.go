@@ -1,0 +1,361 @@
+// Package flowtable implements the exact-match flow and session tables the
+// gateway dataplane uses: VM-NC mappings, SNAT sessions, connection state
+// for stateful network functions.
+//
+// Entries carry a stable synthetic memory address so the cache simulator
+// (internal/cachesim) can model which cache lines a lookup touches — the
+// mechanism behind the paper's Fig. 4/5 observation that multi-GB tables
+// make PLB and RSS equally cache-hostile.
+//
+// Two concurrency models mirror the paper's §7 stateful-NF lesson:
+// SharedSessionTable (one lock, write-heavy NFs contend) and
+// ShardedSessionTable (per-core local state, write-light NFs scale).
+package flowtable
+
+import (
+	"sync"
+
+	"albatross/internal/packet"
+	"albatross/internal/sim"
+)
+
+// Entry is an exact-match table entry.
+type Entry struct {
+	Value uint64
+	// Addr is a stable synthetic memory address for cache modelling. Every
+	// entry occupies SizeBytes of "memory" starting at Addr.
+	Addr uint64
+	// SizeBytes models the entry footprint; cloud gateway entries are
+	// "long, often hundreds of bytes" (paper §4.2).
+	SizeBytes int
+}
+
+// Table is an exact-match table keyed by five-tuple. Not safe for
+// concurrent use; wrap with a lock or shard per core.
+type Table struct {
+	name      string
+	entrySize int
+	m         map[packet.FiveTuple]*Entry
+	nextAddr  uint64
+	addrBase  uint64
+}
+
+// addrStride spaces synthetic addresses so distinct tables never share
+// cache lines in the model.
+const addrStride = 1 << 40
+
+var addrBases struct {
+	sync.Mutex
+	next uint64
+}
+
+func nextAddrBase() uint64 {
+	addrBases.Lock()
+	defer addrBases.Unlock()
+	addrBases.next++
+	return addrBases.next * addrStride
+}
+
+// NewTable creates an exact-match table whose entries model entrySize bytes
+// of memory each.
+func NewTable(name string, entrySize int) *Table {
+	if entrySize <= 0 {
+		entrySize = 64
+	}
+	return &Table{
+		name:      name,
+		entrySize: entrySize,
+		m:         make(map[packet.FiveTuple]*Entry),
+		addrBase:  nextAddrBase(),
+	}
+}
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.m) }
+
+// EntrySize returns the modelled per-entry footprint in bytes.
+func (t *Table) EntrySize() int { return t.entrySize }
+
+// Insert adds or replaces an entry and returns it.
+func (t *Table) Insert(key packet.FiveTuple, value uint64) *Entry {
+	if e, ok := t.m[key]; ok {
+		e.Value = value
+		return e
+	}
+	e := &Entry{
+		Value:     value,
+		Addr:      t.addrBase + t.nextAddr*uint64(t.entrySize),
+		SizeBytes: t.entrySize,
+	}
+	t.nextAddr++
+	t.m[key] = e
+	return e
+}
+
+// Lookup returns the entry for key, or nil.
+func (t *Table) Lookup(key packet.FiveTuple) *Entry { return t.m[key] }
+
+// Delete removes key, reporting whether it was present.
+func (t *Table) Delete(key packet.FiveTuple) bool {
+	if _, ok := t.m[key]; !ok {
+		return false
+	}
+	delete(t.m, key)
+	return true
+}
+
+// MemoryBytes returns the modelled memory footprint of the table.
+func (t *Table) MemoryBytes() int64 { return int64(len(t.m)) * int64(t.entrySize) }
+
+// SessionState is the lifecycle state of a stateful NF session.
+type SessionState uint8
+
+// Session states.
+const (
+	StateNew SessionState = iota
+	StateEstablished
+	StateClosing
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateEstablished:
+		return "established"
+	case StateClosing:
+		return "closing"
+	default:
+		return "invalid"
+	}
+}
+
+// Session is per-flow NF state (e.g. an SNAT binding). Counters make the
+// session "write-heavy" when updated per packet.
+type Session struct {
+	Key        packet.FiveTuple
+	NATAddr    packet.IPv4Addr
+	NATPort    uint16
+	State      SessionState
+	Packets    uint64
+	Bytes      uint64
+	Created    sim.Time
+	LastActive sim.Time
+	Addr       uint64 // synthetic address for cache modelling
+}
+
+// SessionTable stores sessions with capacity-bounded LRU-ish eviction and
+// idle expiry. Not safe for concurrent use.
+type SessionTable struct {
+	m        map[packet.FiveTuple]*Session
+	capacity int
+	idle     sim.Duration
+	addrBase uint64
+	nextAddr uint64
+
+	// Evictions counts capacity evictions; Expirations counts idle expiry.
+	Evictions   uint64
+	Expirations uint64
+}
+
+// NewSessionTable creates a session table with the given capacity and idle
+// timeout. capacity <= 0 means unbounded.
+func NewSessionTable(capacity int, idle sim.Duration) *SessionTable {
+	return &SessionTable{
+		m:        make(map[packet.FiveTuple]*Session),
+		capacity: capacity,
+		idle:     idle,
+		addrBase: nextAddrBase(),
+	}
+}
+
+// Len returns the number of live sessions.
+func (st *SessionTable) Len() int { return len(st.m) }
+
+// Lookup returns the session for key and refreshes its activity timestamp,
+// or nil if absent.
+func (st *SessionTable) Lookup(key packet.FiveTuple, now sim.Time) *Session {
+	s := st.m[key]
+	if s == nil {
+		return nil
+	}
+	if st.idle > 0 && now.Sub(s.LastActive) > st.idle {
+		delete(st.m, key)
+		st.Expirations++
+		return nil
+	}
+	s.LastActive = now
+	return s
+}
+
+// Create inserts a session for key, evicting the least-recently-active
+// session if at capacity. It returns the new session.
+func (st *SessionTable) Create(key packet.FiveTuple, now sim.Time) *Session {
+	if st.capacity > 0 && len(st.m) >= st.capacity {
+		st.evictOldest()
+	}
+	s := &Session{
+		Key:        key,
+		State:      StateNew,
+		Created:    now,
+		LastActive: now,
+		Addr:       st.addrBase + st.nextAddr*128, // sessions model 128B entries
+	}
+	st.nextAddr++
+	st.m[key] = s
+	return s
+}
+
+func (st *SessionTable) evictOldest() {
+	var oldest *Session
+	for _, s := range st.m {
+		if oldest == nil || s.LastActive < oldest.LastActive {
+			oldest = s
+		}
+	}
+	if oldest != nil {
+		delete(st.m, oldest.Key)
+		st.Evictions++
+	}
+}
+
+// Peek returns the session for key without refreshing activity or
+// applying idle expiry (management-plane access).
+func (st *SessionTable) Peek(key packet.FiveTuple) *Session { return st.m[key] }
+
+// Delete removes a session outright, reporting whether it existed.
+func (st *SessionTable) Delete(key packet.FiveTuple) bool {
+	if _, ok := st.m[key]; !ok {
+		return false
+	}
+	delete(st.m, key)
+	return true
+}
+
+// IdleFlows returns the keys of sessions idle longer than the table
+// timeout at time now (without removing them).
+func (st *SessionTable) IdleFlows(now sim.Time) []packet.FiveTuple {
+	if st.idle <= 0 {
+		return nil
+	}
+	var out []packet.FiveTuple
+	for k, s := range st.m {
+		if now.Sub(s.LastActive) > st.idle {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Expire removes all sessions idle longer than the table timeout and
+// returns the count removed.
+func (st *SessionTable) Expire(now sim.Time) int {
+	if st.idle <= 0 {
+		return 0
+	}
+	n := 0
+	for k, s := range st.m {
+		if now.Sub(s.LastActive) > st.idle {
+			delete(st.m, k)
+			n++
+		}
+	}
+	st.Expirations += uint64(n)
+	return n
+}
+
+// SharedSessionTable is a lock-protected session table shared by all cores:
+// the paper's "write-heavy NF with PLB" configuration where per-packet
+// counter updates contend on one lock and one set of cache lines.
+type SharedSessionTable struct {
+	mu sync.Mutex
+	st *SessionTable
+}
+
+// NewSharedSessionTable wraps a session table for concurrent use.
+func NewSharedSessionTable(capacity int, idle sim.Duration) *SharedSessionTable {
+	return &SharedSessionTable{st: NewSessionTable(capacity, idle)}
+}
+
+// Touch looks up or creates the session for key and applies fn under the
+// table lock. It reports whether the session already existed.
+func (sh *SharedSessionTable) Touch(key packet.FiveTuple, now sim.Time, fn func(*Session)) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.st.Lookup(key, now)
+	existed := s != nil
+	if s == nil {
+		s = sh.st.Create(key, now)
+	}
+	if fn != nil {
+		fn(s)
+	}
+	return existed
+}
+
+// Len returns the number of live sessions.
+func (sh *SharedSessionTable) Len() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.st.Len()
+}
+
+// ShardedSessionTable keeps one session table per core — the paper's
+// recommended transformation of shared state into local state for
+// write-heavy NFs. Flows are pinned to shards by tuple hash so a flow's
+// state never migrates (requires RSS-style flow affinity or core-group
+// spraying).
+type ShardedSessionTable struct {
+	shards []*SessionTable
+}
+
+// NewShardedSessionTable creates n per-core shards.
+func NewShardedSessionTable(n, capacityPerShard int, idle sim.Duration) *ShardedSessionTable {
+	if n <= 0 {
+		n = 1
+	}
+	s := &ShardedSessionTable{shards: make([]*SessionTable, n)}
+	for i := range s.shards {
+		s.shards[i] = NewSessionTable(capacityPerShard, idle)
+	}
+	return s
+}
+
+// ShardFor returns the shard index for a flow.
+func (s *ShardedSessionTable) ShardFor(key packet.FiveTuple) int {
+	return int(key.Hash() % uint32(len(s.shards)))
+}
+
+// Shard returns shard i.
+func (s *ShardedSessionTable) Shard(i int) *SessionTable { return s.shards[i] }
+
+// NumShards returns the shard count.
+func (s *ShardedSessionTable) NumShards() int { return len(s.shards) }
+
+// Touch looks up or creates the session in the flow's shard and applies fn.
+// Unlike SharedSessionTable, no lock is taken: each shard is owned by one
+// core. It reports whether the session already existed.
+func (s *ShardedSessionTable) Touch(key packet.FiveTuple, now sim.Time, fn func(*Session)) bool {
+	st := s.shards[s.ShardFor(key)]
+	sess := st.Lookup(key, now)
+	existed := sess != nil
+	if sess == nil {
+		sess = st.Create(key, now)
+	}
+	if fn != nil {
+		fn(sess)
+	}
+	return existed
+}
+
+// Len returns the total number of live sessions across shards.
+func (s *ShardedSessionTable) Len() int {
+	n := 0
+	for _, st := range s.shards {
+		n += st.Len()
+	}
+	return n
+}

@@ -1,0 +1,306 @@
+package flowtable
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"albatross/internal/packet"
+	"albatross/internal/sim"
+)
+
+func tuple(i int) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src:   packet.IPv4FromUint32(0x0a000000 + uint32(i)),
+		Dst:   packet.IPv4Addr{10, 1, 0, 1},
+		Proto: packet.IPProtocolTCP,
+		SPort: uint16(1024 + i%60000),
+		DPort: 443,
+	}
+}
+
+func TestTableInsertLookupDelete(t *testing.T) {
+	tb := NewTable("vm-nc", 256)
+	if tb.Name() != "vm-nc" || tb.EntrySize() != 256 {
+		t.Fatal("metadata wrong")
+	}
+	k := tuple(1)
+	if tb.Lookup(k) != nil {
+		t.Fatal("lookup on empty table")
+	}
+	e := tb.Insert(k, 42)
+	if e.Value != 42 || e.SizeBytes != 256 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if got := tb.Lookup(k); got != e {
+		t.Fatal("lookup mismatch")
+	}
+	// Replace keeps the address stable (same memory entry).
+	e2 := tb.Insert(k, 43)
+	if e2.Addr != e.Addr || e2.Value != 43 {
+		t.Fatalf("replace changed address: %+v vs %+v", e2, e)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if !tb.Delete(k) || tb.Delete(k) {
+		t.Fatal("delete semantics wrong")
+	}
+}
+
+func TestTableAddressesDistinct(t *testing.T) {
+	tb := NewTable("a", 128)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		e := tb.Insert(tuple(i), uint64(i))
+		if seen[e.Addr] {
+			t.Fatalf("address %#x reused", e.Addr)
+		}
+		seen[e.Addr] = true
+	}
+	if tb.MemoryBytes() != 1000*128 {
+		t.Fatalf("memory = %d", tb.MemoryBytes())
+	}
+}
+
+func TestTablesDoNotShareAddressSpace(t *testing.T) {
+	a := NewTable("a", 64)
+	b := NewTable("b", 64)
+	ea := a.Insert(tuple(0), 1)
+	eb := b.Insert(tuple(0), 1)
+	if ea.Addr == eb.Addr {
+		t.Fatal("tables share addresses")
+	}
+}
+
+func TestTableDefaultEntrySize(t *testing.T) {
+	tb := NewTable("x", 0)
+	if tb.EntrySize() != 64 {
+		t.Fatalf("default entry size = %d", tb.EntrySize())
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	st := NewSessionTable(0, 100*sim.Microsecond)
+	k := tuple(7)
+	if st.Lookup(k, 0) != nil {
+		t.Fatal("lookup on empty")
+	}
+	s := st.Create(k, 10)
+	if s.State != StateNew || s.Created != 10 {
+		t.Fatalf("session = %+v", s)
+	}
+	s.State = StateEstablished
+	// Within idle window: refreshed.
+	got := st.Lookup(k, 50)
+	if got == nil || got.LastActive != 50 || got.State != StateEstablished {
+		t.Fatalf("refresh failed: %+v", got)
+	}
+	// Past idle window: expired.
+	if st.Lookup(k, 50+sim.Time(101*sim.Microsecond)) != nil {
+		t.Fatal("expired session returned")
+	}
+	if st.Expirations != 1 {
+		t.Fatalf("expirations = %d", st.Expirations)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("len = %d", st.Len())
+	}
+}
+
+func TestSessionCapacityEviction(t *testing.T) {
+	st := NewSessionTable(10, 0)
+	for i := 0; i < 10; i++ {
+		s := st.Create(tuple(i), sim.Time(i))
+		s.State = StateEstablished
+	}
+	// Touch session 0 so it's most recent; oldest is now tuple(1).
+	if st.Lookup(tuple(0), 100) == nil {
+		t.Fatal("session 0 missing")
+	}
+	st.Create(tuple(99), 200)
+	if st.Len() != 10 {
+		t.Fatalf("len = %d, want 10", st.Len())
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d", st.Evictions)
+	}
+	if st.Lookup(tuple(1), 201) != nil {
+		t.Fatal("LRU eviction removed wrong session (1 should be gone)")
+	}
+	if st.Lookup(tuple(0), 201) == nil {
+		t.Fatal("recently used session evicted")
+	}
+}
+
+func TestSessionExpireSweep(t *testing.T) {
+	st := NewSessionTable(0, 50*sim.Microsecond)
+	for i := 0; i < 20; i++ {
+		st.Create(tuple(i), 0)
+	}
+	// Half stay active.
+	for i := 0; i < 10; i++ {
+		st.Lookup(tuple(i), sim.Time(40*sim.Microsecond))
+	}
+	n := st.Expire(sim.Time(60 * sim.Microsecond))
+	if n != 10 {
+		t.Fatalf("expired %d, want 10", n)
+	}
+	if st.Len() != 10 {
+		t.Fatalf("len = %d", st.Len())
+	}
+	// Zero idle => Expire is a no-op.
+	st2 := NewSessionTable(0, 0)
+	st2.Create(tuple(0), 0)
+	if st2.Expire(1<<40) != 0 {
+		t.Fatal("no-idle table expired sessions")
+	}
+}
+
+func TestSessionStateString(t *testing.T) {
+	if StateNew.String() != "new" || StateEstablished.String() != "established" ||
+		StateClosing.String() != "closing" || SessionState(9).String() != "invalid" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestSharedSessionTableTouch(t *testing.T) {
+	sh := NewSharedSessionTable(0, 0)
+	k := tuple(3)
+	existed := sh.Touch(k, 0, func(s *Session) { s.Packets++ })
+	if existed {
+		t.Fatal("first touch reported existing")
+	}
+	existed = sh.Touch(k, 1, func(s *Session) { s.Packets++ })
+	if !existed {
+		t.Fatal("second touch reported new")
+	}
+	var pkts uint64
+	sh.Touch(k, 2, func(s *Session) { pkts = s.Packets })
+	if pkts != 2 {
+		t.Fatalf("packets = %d", pkts)
+	}
+	if sh.Len() != 1 {
+		t.Fatalf("len = %d", sh.Len())
+	}
+}
+
+func TestSharedSessionTableConcurrent(t *testing.T) {
+	sh := NewSharedSessionTable(0, 0)
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sh.Touch(tuple(i%50), 0, func(s *Session) {
+					s.Packets++
+					s.Bytes += 256
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if sh.Len() != 50 {
+		t.Fatalf("len = %d, want 50", sh.Len())
+	}
+	var total uint64
+	for i := 0; i < 50; i++ {
+		sh.Touch(tuple(i), 0, func(s *Session) { total += s.Packets })
+	}
+	if total != goroutines*perG {
+		t.Fatalf("total packets = %d, want %d", total, goroutines*perG)
+	}
+}
+
+func TestShardedSessionTable(t *testing.T) {
+	s := NewShardedSessionTable(4, 0, 0)
+	if s.NumShards() != 4 {
+		t.Fatalf("shards = %d", s.NumShards())
+	}
+	// Same flow always maps to the same shard.
+	k := tuple(9)
+	sh := s.ShardFor(k)
+	for i := 0; i < 10; i++ {
+		if s.ShardFor(k) != sh {
+			t.Fatal("shard not stable")
+		}
+	}
+	s.Touch(k, 0, nil)
+	s.Touch(k, 1, func(sess *Session) { sess.Packets++ })
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Shard(sh).Len() != 1 {
+		t.Fatal("session not in expected shard")
+	}
+}
+
+func TestShardedSessionTableDistribution(t *testing.T) {
+	s := NewShardedSessionTable(8, 0, 0)
+	for i := 0; i < 8000; i++ {
+		s.Touch(tuple(i), 0, nil)
+	}
+	for i := 0; i < 8; i++ {
+		n := s.Shard(i).Len()
+		if n < 700 || n > 1300 {
+			t.Fatalf("shard %d has %d sessions, want ~1000", i, n)
+		}
+	}
+}
+
+func TestShardedMinimumOneShard(t *testing.T) {
+	s := NewShardedSessionTable(0, 0, 0)
+	if s.NumShards() != 1 {
+		t.Fatalf("shards = %d, want 1", s.NumShards())
+	}
+}
+
+func TestTouchSemanticsEquivalentProperty(t *testing.T) {
+	// Shared and sharded tables agree on existence semantics for any
+	// sequence of touches.
+	f := func(keys []uint8) bool {
+		sh := NewSharedSessionTable(0, 0)
+		sd := NewShardedSessionTable(3, 0, 0)
+		for i, k := range keys {
+			a := sh.Touch(tuple(int(k)), sim.Time(i), nil)
+			b := sd.Touch(tuple(int(k)), sim.Time(i), nil)
+			if a != b {
+				return false
+			}
+		}
+		return sh.Len() == sd.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTableLookup(b *testing.B) {
+	tb := NewTable("bench", 256)
+	for i := 0; i < 100000; i++ {
+		tb.Insert(tuple(i), uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tb.Lookup(tuple(i % 100000))
+	}
+}
+
+func BenchmarkSharedTouch(b *testing.B) {
+	sh := NewSharedSessionTable(0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sh.Touch(tuple(i%1000), 0, func(s *Session) { s.Packets++ })
+	}
+}
+
+func BenchmarkShardedTouch(b *testing.B) {
+	sd := NewShardedSessionTable(8, 0, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sd.Touch(tuple(i%1000), 0, func(s *Session) { s.Packets++ })
+	}
+}

@@ -1,0 +1,409 @@
+package lpm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"albatross/internal/sim"
+)
+
+func mustInsert(t testing.TB, tbl *Table, prefix uint32, plen int, val uint32) {
+	t.Helper()
+	if err := tbl.Insert(prefix, plen, val); err != nil {
+		t.Fatalf("Insert(%s, %d): %v", PrefixString(prefix, plen), val, err)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tbl := New()
+	if v, ok := tbl.Lookup(0x0a000001); ok || v != NoRoute {
+		t.Fatalf("lookup on empty table = %v, %v", v, ok)
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+}
+
+func TestBasicLongestMatch(t *testing.T) {
+	tbl := New()
+	mustInsert(t, tbl, 0x0a000000, 8, 100)  // 10/8
+	mustInsert(t, tbl, 0x0a010000, 16, 200) // 10.1/16
+	mustInsert(t, tbl, 0x0a010100, 24, 300) // 10.1.1/24
+	mustInsert(t, tbl, 0x0a010101, 32, 400) // 10.1.1.1/32
+
+	cases := []struct {
+		addr uint32
+		want uint32
+	}{
+		{0x0a010101, 400}, // exact /32
+		{0x0a010102, 300}, // /24
+		{0x0a010201, 200}, // /16
+		{0x0a020101, 100}, // /8
+		{0x0b000001, NoRoute},
+	}
+	for _, c := range cases {
+		got, ok := tbl.Lookup(c.addr)
+		if c.want == NoRoute {
+			if ok {
+				t.Errorf("lookup %08x = %d, want miss", c.addr, got)
+			}
+			continue
+		}
+		if !ok || got != c.want {
+			t.Errorf("lookup %08x = %d (%v), want %d", c.addr, got, ok, c.want)
+		}
+	}
+	if tbl.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tbl.Len())
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tbl := New()
+	mustInsert(t, tbl, 0, 0, 7)
+	if v, ok := tbl.Lookup(0xdeadbeef); !ok || v != 7 {
+		t.Fatalf("default route lookup = %d, %v", v, ok)
+	}
+	mustInsert(t, tbl, 0x0a000000, 8, 9)
+	if v, _ := tbl.Lookup(0x0a000001); v != 9 {
+		t.Fatalf("more-specific should win: %d", v)
+	}
+	if !tbl.Delete(0, 0) {
+		t.Fatal("delete default failed")
+	}
+	if _, ok := tbl.Lookup(0xdeadbeef); ok {
+		t.Fatal("default still matching after delete")
+	}
+}
+
+func TestNonOctetAlignedPrefixes(t *testing.T) {
+	tbl := New()
+	// /22 and /30: partial-stride expansion paths.
+	mustInsert(t, tbl, 0xc0a80400, 22, 1) // 192.168.4.0/22 covers .4-.7
+	mustInsert(t, tbl, 0xc0a80600, 23, 2) // 192.168.6.0/23 covers .6-.7
+	mustInsert(t, tbl, 0xc0a80630, 30, 3) // 192.168.6.48/30
+
+	if v, _ := tbl.Lookup(0xc0a80401); v != 1 {
+		t.Fatalf(".4.1 = %d, want 1", v)
+	}
+	if v, _ := tbl.Lookup(0xc0a80501); v != 1 {
+		t.Fatalf(".5.1 = %d, want 1", v)
+	}
+	if v, _ := tbl.Lookup(0xc0a80601); v != 2 {
+		t.Fatalf(".6.1 = %d, want 2", v)
+	}
+	if v, _ := tbl.Lookup(0xc0a80701); v != 2 {
+		t.Fatalf(".7.1 = %d, want 2", v)
+	}
+	if v, _ := tbl.Lookup(0xc0a80631); v != 3 {
+		t.Fatalf(".6.49 = %d, want 3", v)
+	}
+	if v, _ := tbl.Lookup(0xc0a80634); v != 2 {
+		t.Fatalf(".6.52 = %d, want 2 (outside /30)", v)
+	}
+	if _, ok := tbl.Lookup(0xc0a80801); ok {
+		t.Fatal(".8.1 should miss")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tbl := New()
+	mustInsert(t, tbl, 0x0a000000, 8, 1)
+	mustInsert(t, tbl, 0x0a000000, 8, 2)
+	if tbl.Len() != 1 {
+		t.Fatalf("len after replace = %d", tbl.Len())
+	}
+	if v, _ := tbl.Lookup(0x0a123456); v != 2 {
+		t.Fatalf("value after replace = %d", v)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tbl := New()
+	if err := tbl.Insert(0x0a000001, 8, 1); err == nil {
+		t.Fatal("non-canonical prefix accepted")
+	}
+	if err := tbl.Insert(0, 33, 1); err == nil {
+		t.Fatal("plen 33 accepted")
+	}
+	if err := tbl.Insert(0, -1, 1); err == nil {
+		t.Fatal("negative plen accepted")
+	}
+	if err := tbl.Insert(0x0a000000, 8, NoRoute); err == nil {
+		t.Fatal("NoRoute sentinel accepted")
+	}
+	if err := tbl.Insert(1, 0, 1); err == nil {
+		t.Fatal("nonzero default prefix accepted")
+	}
+}
+
+func TestDeleteRestoresCover(t *testing.T) {
+	tbl := New()
+	mustInsert(t, tbl, 0x0a000000, 8, 100)
+	mustInsert(t, tbl, 0x0a010000, 16, 200)
+	if !tbl.Delete(0x0a010000, 16) {
+		t.Fatal("delete failed")
+	}
+	if v, _ := tbl.Lookup(0x0a010001); v != 100 {
+		t.Fatalf("after delete, lookup = %d, want covering /8 value 100", v)
+	}
+	if tbl.Delete(0x0a010000, 16) {
+		t.Fatal("double delete succeeded")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+}
+
+func TestDeleteRestoresWithinStride(t *testing.T) {
+	tbl := New()
+	// Both in the same root stride: /6 covers /7.
+	mustInsert(t, tbl, 0x08000000, 6, 6) // 8.0.0.0/6
+	mustInsert(t, tbl, 0x0a000000, 7, 7) // 10.0.0.0/7
+	if v, _ := tbl.Lookup(0x0a000001); v != 7 {
+		t.Fatalf("pre-delete = %d", v)
+	}
+	tbl.Delete(0x0a000000, 7)
+	if v, _ := tbl.Lookup(0x0a000001); v != 6 {
+		t.Fatalf("post-delete = %d, want /6 value", v)
+	}
+	if v, _ := tbl.Lookup(0x09000001); v != 6 {
+		t.Fatalf("sibling = %d, want 6", v)
+	}
+}
+
+func TestDeletePreservesLongerRoutes(t *testing.T) {
+	tbl := New()
+	mustInsert(t, tbl, 0x0a000000, 8, 8)
+	mustInsert(t, tbl, 0x0a010000, 16, 16)
+	tbl.Delete(0x0a000000, 8)
+	if v, _ := tbl.Lookup(0x0a010001); v != 16 {
+		t.Fatalf("longer route lost: %d", v)
+	}
+	if _, ok := tbl.Lookup(0x0a020001); ok {
+		t.Fatal("deleted /8 still matches")
+	}
+}
+
+func TestDeletePrunesNodes(t *testing.T) {
+	tbl := New()
+	base := tbl.NodeCount()
+	mustInsert(t, tbl, 0x0a010101, 32, 1)
+	if tbl.NodeCount() != base+3 {
+		t.Fatalf("nodes = %d, want %d", tbl.NodeCount(), base+3)
+	}
+	tbl.Delete(0x0a010101, 32)
+	if tbl.NodeCount() != base {
+		t.Fatalf("nodes after delete = %d, want %d", tbl.NodeCount(), base)
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tbl := New()
+	if tbl.Delete(0x0a000000, 8) {
+		t.Fatal("delete on empty table succeeded")
+	}
+	mustInsert(t, tbl, 0x0a000000, 8, 1)
+	if tbl.Delete(0x0a000000, 9) {
+		t.Fatal("delete of absent plen succeeded")
+	}
+	if tbl.Delete(0x0b000000, 8) {
+		t.Fatal("delete of absent prefix succeeded")
+	}
+}
+
+func TestWalk(t *testing.T) {
+	tbl := New()
+	routes := map[string]uint32{}
+	ins := func(p uint32, l int, v uint32) {
+		mustInsert(t, tbl, p, l, v)
+		routes[PrefixString(p, l)] = v
+	}
+	ins(0, 0, 1)
+	ins(0x0a000000, 8, 2)
+	ins(0x0a014000, 18, 3)
+	ins(0x0a010101, 32, 4)
+	got := map[string]uint32{}
+	tbl.Walk(func(p uint32, l int, v uint32) bool {
+		got[PrefixString(p, l)] = v
+		return true
+	})
+	if len(got) != len(routes) {
+		t.Fatalf("walk visited %d routes, want %d: %v", len(got), len(routes), got)
+	}
+	for k, v := range routes {
+		if got[k] != v {
+			t.Errorf("route %s = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early stop.
+	n := 0
+	tbl.Walk(func(uint32, int, uint32) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestMaskAndCanonical(t *testing.T) {
+	if Mask(0) != 0 || Mask(8) != 0xff000000 || Mask(32) != 0xffffffff {
+		t.Fatal("mask values wrong")
+	}
+	if Canonical(0x0a0b0c0d, 16) != 0x0a0b0000 {
+		t.Fatal("canonical wrong")
+	}
+	if CommonPrefixLen(0x80000000, 0) != 0 {
+		t.Fatal("cpl wrong")
+	}
+	if CommonPrefixLen(0x0a000000, 0x0a000001) != 31 {
+		t.Fatal("cpl 31 wrong")
+	}
+}
+
+// referenceLPM is a brute-force oracle: linear scan over all routes.
+type referenceLPM struct {
+	routes map[[2]uint32]uint32 // [prefix, plen] -> val
+}
+
+func (r *referenceLPM) lookup(addr uint32) (uint32, bool) {
+	bestLen := -1
+	var bestVal uint32
+	for k, v := range r.routes {
+		p, l := k[0], int(k[1])
+		if addr&Mask(l) == p && l > bestLen {
+			bestLen = l
+			bestVal = v
+		}
+	}
+	return bestVal, bestLen >= 0
+}
+
+func TestAgainstReferenceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		tbl := New()
+		ref := &referenceLPM{routes: map[[2]uint32]uint32{}}
+		// Random inserts and deletes.
+		for op := 0; op < 300; op++ {
+			plen := r.Intn(33)
+			prefix := Canonical(r.Uint32(), plen)
+			if plen == 0 {
+				prefix = 0
+			}
+			if r.Float64() < 0.75 || len(ref.routes) == 0 {
+				val := r.Uint32() % 1000000
+				if err := tbl.Insert(prefix, plen, val); err != nil {
+					return false
+				}
+				ref.routes[[2]uint32{prefix, uint32(plen)}] = val
+			} else {
+				// Delete a random existing route half the time.
+				if r.Float64() < 0.5 {
+					for k := range ref.routes {
+						prefix, plen = k[0], int(k[1])
+						break
+					}
+				}
+				got := tbl.Delete(prefix, plen)
+				_, want := ref.routes[[2]uint32{prefix, uint32(plen)}]
+				if got != want {
+					return false
+				}
+				delete(ref.routes, [2]uint32{prefix, uint32(plen)})
+			}
+		}
+		if tbl.Len() != len(ref.routes) {
+			return false
+		}
+		// Verify lookups against the oracle at random probes plus route
+		// boundary addresses.
+		for i := 0; i < 300; i++ {
+			addr := r.Uint32()
+			gv, gok := tbl.Lookup(addr)
+			wv, wok := ref.lookup(addr)
+			if gok != wok || (gok && gv != wv) {
+				return false
+			}
+		}
+		for k := range ref.routes {
+			addr := k[0] // network address of each route
+			gv, gok := tbl.Lookup(addr)
+			wv, wok := ref.lookup(addr)
+			if gok != wok || (gok && gv != wv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleClusteredRoutes(t *testing.T) {
+	// A scaled-down version of the Tab. 6 capacity experiment: clustered
+	// tenant routes (how VXLAN routing tables look in production).
+	tbl := New()
+	r := sim.NewRand(1)
+	const subnets = 512
+	const perSubnet = 200
+	n := 0
+	for s := 0; s < subnets; s++ {
+		base := 0x0a000000 | uint32(s)<<8
+		mustInsert(t, tbl, base, 24, uint32(s))
+		n++
+		for h := 0; h < perSubnet; h++ {
+			host := base | uint32(1+r.Intn(254))
+			if err := tbl.Insert(host, 32, uint32(s)*1000+uint32(h)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if tbl.Len() < subnets {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+	// All /24 network addresses resolve.
+	for s := 0; s < subnets; s++ {
+		base := 0x0a000000 | uint32(s)<<8
+		if v, ok := tbl.Lookup(base | 0xfe); !ok {
+			t.Fatalf("subnet %d unreachable", s)
+		} else if v >= subnets && v < 1000 {
+			t.Fatalf("unexpected value %d", v)
+		}
+	}
+	if tbl.MemoryBytes() <= 0 {
+		t.Fatal("memory estimate not positive")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tbl := New()
+	r := sim.NewRand(2)
+	for i := 0; i < 100000; i++ {
+		plen := 16 + r.Intn(17)
+		if err := tbl.Insert(Canonical(r.Uint32(), plen), plen, uint32(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	addrs := make([]uint32, 1024)
+	for i := range addrs {
+		addrs[i] = r.Uint32()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(addrs[i&1023])
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	r := sim.NewRand(3)
+	tbl := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plen := 16 + r.Intn(17)
+		tbl.Insert(Canonical(r.Uint32(), plen), plen, uint32(i))
+	}
+}

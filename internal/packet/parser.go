@@ -1,0 +1,495 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// FiveTuple identifies a flow by (src, dst, proto, sport, dport). For
+// non-TCP/UDP protocols the ports are zero.
+type FiveTuple struct {
+	Src, Dst     IPv4Addr
+	Proto        IPProtocol
+	SPort, DPort uint16
+}
+
+func (f FiveTuple) String() string {
+	return fmt.Sprintf("%v:%d->%v:%d/%d", f.Src, f.SPort, f.Dst, f.DPort, f.Proto)
+}
+
+// Hash returns a 32-bit hash of the tuple (FNV-1a over the canonical
+// 13-byte encoding). Both PLB order-queue selection and RSS indirection use
+// this when Toeplitz hashing is not configured.
+func (f FiveTuple) Hash() uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(b byte) {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	for _, b := range f.Src {
+		mix(b)
+	}
+	for _, b := range f.Dst {
+		mix(b)
+	}
+	mix(byte(f.Proto))
+	mix(byte(f.SPort >> 8))
+	mix(byte(f.SPort))
+	mix(byte(f.DPort >> 8))
+	mix(byte(f.DPort))
+	// Murmur3-style finalizer: FNV-1a alone avalanches poorly in the low
+	// bits for correlated inputs (sequential tenant addresses), which would
+	// skew queue/bucket selection.
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// Reverse returns the tuple of the opposite direction.
+func (f FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{Src: f.Dst, Dst: f.Src, Proto: f.Proto, SPort: f.DPort, DPort: f.SPort}
+}
+
+// Layers records which headers a Parse call decoded, in order.
+type Layers uint16
+
+// Layer bits.
+const (
+	LayerEthernet Layers = 1 << iota
+	LayerVLAN
+	LayerIPv4
+	LayerUDP
+	LayerTCP
+	LayerICMPv4
+	LayerVXLAN
+	LayerGeneve
+	LayerInnerEthernet
+	LayerInnerIPv4
+	LayerInnerUDP
+	LayerInnerTCP
+)
+
+// Parsed is the zero-alloc decode target for a full gateway packet stack:
+// outer Ethernet [VLAN] IPv4 UDP VXLAN inner-Ethernet inner-IPv4 inner-L4,
+// or a plain (non-encapsulated) stack. Reuse one Parsed per worker; Parse
+// overwrites all fields it decodes and sets Decoded accordingly.
+type Parsed struct {
+	Decoded Layers
+
+	Eth     Ethernet
+	VLAN    VLAN
+	IP      IPv4
+	UDP     UDP
+	TCP     TCP
+	ICMP    ICMPv4
+	VXLAN   VXLAN
+	Geneve  Geneve
+	InEth   Ethernet
+	InIP    IPv4
+	InUDP   UDP
+	InTCP   TCP
+	Payload []byte // innermost payload (sub-slice of input; do not retain)
+
+	// HeaderLen is the number of bytes of the input consumed by all decoded
+	// headers (i.e. offset of Payload). The header-payload split mode of the
+	// basic pipeline cuts the packet here.
+	HeaderLen int
+}
+
+// ErrUnsupported reports a protocol the gateway parser does not handle.
+var ErrUnsupported = errors.New("packet: unsupported protocol")
+
+// Parse decodes data into p. It decodes as deep as it recognizes the stack
+// and returns an error only for truncated or malformed headers; unknown
+// protocols simply terminate decoding with the remainder as Payload.
+func Parse(data []byte, p *Parsed) error {
+	p.Decoded = 0
+	p.Payload = nil
+	off := 0
+
+	n, err := p.Eth.DecodeFromBytes(data)
+	if err != nil {
+		return err
+	}
+	off += n
+	p.Decoded |= LayerEthernet
+	et := p.Eth.EtherType
+
+	if et == EtherTypeVLAN {
+		n, err = p.VLAN.DecodeFromBytes(data[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+		p.Decoded |= LayerVLAN
+		et = p.VLAN.EtherType
+	}
+
+	if et != EtherTypeIPv4 {
+		p.Payload = data[off:]
+		p.HeaderLen = off
+		return nil
+	}
+	n, err = p.IP.DecodeFromBytes(data[off:])
+	if err != nil {
+		return err
+	}
+	off += n
+	p.Decoded |= LayerIPv4
+
+	switch p.IP.Protocol {
+	case IPProtocolUDP:
+		n, err = p.UDP.DecodeFromBytes(data[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+		p.Decoded |= LayerUDP
+		if p.UDP.DstPort == VXLANPort {
+			return p.parseVXLAN(data, off)
+		}
+		if p.UDP.DstPort == GenevePort {
+			return p.parseGeneve(data, off)
+		}
+	case IPProtocolTCP:
+		n, err = p.TCP.DecodeFromBytes(data[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+		p.Decoded |= LayerTCP
+	case IPProtocolICMP:
+		n, err = p.ICMP.DecodeFromBytes(data[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+		p.Decoded |= LayerICMPv4
+	}
+	p.Payload = data[off:]
+	p.HeaderLen = off
+	return nil
+}
+
+func (p *Parsed) parseVXLAN(data []byte, off int) error {
+	n, err := p.VXLAN.DecodeFromBytes(data[off:])
+	if err != nil {
+		return err
+	}
+	off += n
+	p.Decoded |= LayerVXLAN
+
+	n, err = p.InEth.DecodeFromBytes(data[off:])
+	if err != nil {
+		return err
+	}
+	off += n
+	p.Decoded |= LayerInnerEthernet
+
+	if p.InEth.EtherType != EtherTypeIPv4 {
+		p.Payload = data[off:]
+		p.HeaderLen = off
+		return nil
+	}
+	n, err = p.InIP.DecodeFromBytes(data[off:])
+	if err != nil {
+		return err
+	}
+	off += n
+	p.Decoded |= LayerInnerIPv4
+
+	switch p.InIP.Protocol {
+	case IPProtocolUDP:
+		n, err = p.InUDP.DecodeFromBytes(data[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+		p.Decoded |= LayerInnerUDP
+	case IPProtocolTCP:
+		n, err = p.InTCP.DecodeFromBytes(data[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+		p.Decoded |= LayerInnerTCP
+	}
+	p.Payload = data[off:]
+	p.HeaderLen = off
+	return nil
+}
+
+// parseGeneve decodes a Geneve header and its inner frame. Geneve may
+// carry Ethernet or bare IPv4 depending on the protocol field.
+func (p *Parsed) parseGeneve(data []byte, off int) error {
+	n, err := p.Geneve.DecodeFromBytes(data[off:])
+	if err != nil {
+		return err
+	}
+	off += n
+	p.Decoded |= LayerGeneve
+
+	switch p.Geneve.Protocol {
+	case EtherTypeIPv4:
+		return p.parseInnerIPv4(data, off)
+	case 0x6558: // transparent Ethernet bridging
+		n, err = p.InEth.DecodeFromBytes(data[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+		p.Decoded |= LayerInnerEthernet
+		if p.InEth.EtherType != EtherTypeIPv4 {
+			p.Payload = data[off:]
+			p.HeaderLen = off
+			return nil
+		}
+		return p.parseInnerIPv4(data, off)
+	default:
+		p.Payload = data[off:]
+		p.HeaderLen = off
+		return nil
+	}
+}
+
+// parseInnerIPv4 decodes the inner IPv4 header and L4.
+func (p *Parsed) parseInnerIPv4(data []byte, off int) error {
+	n, err := p.InIP.DecodeFromBytes(data[off:])
+	if err != nil {
+		return err
+	}
+	off += n
+	p.Decoded |= LayerInnerIPv4
+	switch p.InIP.Protocol {
+	case IPProtocolUDP:
+		n, err = p.InUDP.DecodeFromBytes(data[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+		p.Decoded |= LayerInnerUDP
+	case IPProtocolTCP:
+		n, err = p.InTCP.DecodeFromBytes(data[off:])
+		if err != nil {
+			return err
+		}
+		off += n
+		p.Decoded |= LayerInnerTCP
+	}
+	p.Payload = data[off:]
+	p.HeaderLen = off
+	return nil
+}
+
+// OuterFlow returns the outer five-tuple of a parsed packet.
+func (p *Parsed) OuterFlow() FiveTuple {
+	f := FiveTuple{Src: p.IP.Src, Dst: p.IP.Dst, Proto: p.IP.Protocol}
+	switch {
+	case p.Decoded&LayerUDP != 0:
+		f.SPort, f.DPort = p.UDP.SrcPort, p.UDP.DstPort
+	case p.Decoded&LayerTCP != 0:
+		f.SPort, f.DPort = p.TCP.SrcPort, p.TCP.DstPort
+	}
+	return f
+}
+
+// InnerFlow returns the inner (tenant) five-tuple of a VXLAN packet, or the
+// outer flow for non-encapsulated packets.
+func (p *Parsed) InnerFlow() FiveTuple {
+	if p.Decoded&LayerInnerIPv4 == 0 {
+		return p.OuterFlow()
+	}
+	f := FiveTuple{Src: p.InIP.Src, Dst: p.InIP.Dst, Proto: p.InIP.Protocol}
+	switch {
+	case p.Decoded&LayerInnerUDP != 0:
+		f.SPort, f.DPort = p.InUDP.SrcPort, p.InUDP.DstPort
+	case p.Decoded&LayerInnerTCP != 0:
+		f.SPort, f.DPort = p.InTCP.SrcPort, p.InTCP.DstPort
+	}
+	return f
+}
+
+// VNI returns the tenant VNI from either encapsulation, or 0 for plain
+// packets.
+func (p *Parsed) VNI() uint32 {
+	if p.Decoded&LayerVXLAN != 0 {
+		return p.VXLAN.VNI
+	}
+	if p.Decoded&LayerGeneve != 0 {
+		return p.Geneve.VNI
+	}
+	return 0
+}
+
+// Builder assembles packets back-to-front-free: headers are written in
+// order into a reusable buffer, modeling the FPGA deparser. Grow-only; safe
+// to reuse across packets via Reset.
+type Builder struct {
+	buf []byte
+	off int
+}
+
+// NewBuilder returns a builder with the given initial capacity.
+func NewBuilder(capacity int) *Builder {
+	return &Builder{buf: make([]byte, 0, capacity)}
+}
+
+// Reset clears the builder for reuse.
+func (b *Builder) Reset() {
+	b.buf = b.buf[:0]
+	b.off = 0
+}
+
+// Bytes returns the assembled packet. The slice is valid until Reset.
+func (b *Builder) Bytes() []byte { return b.buf }
+
+// grow extends the buffer by n bytes and returns the writable region.
+func (b *Builder) grow(n int) []byte {
+	start := len(b.buf)
+	for cap(b.buf) < start+n {
+		b.buf = append(b.buf[:cap(b.buf)], 0)
+	}
+	b.buf = b.buf[:start+n]
+	return b.buf[start:]
+}
+
+// AddEthernet appends an Ethernet header.
+func (b *Builder) AddEthernet(e *Ethernet) {
+	region := b.grow(EthernetLen)
+	e.SerializeTo(region)
+}
+
+// AddVLAN appends an 802.1Q tag.
+func (b *Builder) AddVLAN(v *VLAN) {
+	region := b.grow(VLANLen)
+	v.SerializeTo(region)
+}
+
+// AddIPv4 appends an IPv4 header whose Length covers payloadLen bytes of
+// subsequent content.
+func (b *Builder) AddIPv4(ip *IPv4, payloadLen int) {
+	hdrLen := IPv4MinLen + len(ip.Options)
+	ip.Length = uint16(hdrLen + payloadLen)
+	region := b.grow(hdrLen)
+	ip.SerializeTo(region)
+}
+
+// AddUDP appends a UDP header and payload with a computed checksum.
+func (b *Builder) AddUDP(u *UDP, src, dst IPv4Addr, payload []byte) {
+	region := b.grow(UDPLen + len(payload))
+	u.SerializeWithChecksum(region, src, dst, payload)
+}
+
+// AddUDPHeader appends only a UDP header (no checksum; payload appended
+// separately, e.g. VXLAN inner frames).
+func (b *Builder) AddUDPHeader(u *UDP, totalPayloadLen int) {
+	u.Length = uint16(UDPLen + totalPayloadLen)
+	u.Checksum = 0 // RFC 7348 recommends zero UDP checksum for VXLAN
+	region := b.grow(UDPLen)
+	u.SerializeTo(region)
+}
+
+// AddTCP appends a TCP header and payload with a computed checksum.
+func (b *Builder) AddTCP(t *TCP, src, dst IPv4Addr, payload []byte) {
+	region := b.grow(t.HeaderLen() + len(payload))
+	t.SerializeWithChecksum(region, src, dst, payload)
+}
+
+// AddVXLAN appends a VXLAN header.
+func (b *Builder) AddVXLAN(v *VXLAN) {
+	region := b.grow(VXLANLen)
+	v.SerializeTo(region)
+}
+
+// AddBytes appends raw bytes (e.g. an opaque payload).
+func (b *Builder) AddBytes(p []byte) {
+	region := b.grow(len(p))
+	copy(region, p)
+}
+
+// BuildVXLANPacket assembles a complete gateway-style packet:
+// Ethernet/IPv4/UDP(VXLAN)/VXLAN/innerEthernet/innerIPv4/innerL4/payload.
+// It is the reference constructor used by workload generators and tests.
+func BuildVXLANPacket(b *Builder, spec *VXLANSpec) []byte {
+	b.Reset()
+
+	// Inner frame first (sizes needed for outer lengths).
+	inner := innerFrame(spec)
+
+	outerUDP := UDP{SrcPort: spec.OuterSrcPort, DstPort: VXLANPort}
+	ip := IPv4{
+		TTL:      64,
+		Protocol: IPProtocolUDP,
+		Src:      spec.OuterSrc,
+		Dst:      spec.OuterDst,
+	}
+	b.AddEthernet(&Ethernet{Dst: spec.OuterDstMAC, Src: spec.OuterSrcMAC, EtherType: EtherTypeIPv4})
+	b.AddIPv4(&ip, UDPLen+VXLANLen+len(inner))
+	b.AddUDPHeader(&outerUDP, VXLANLen+len(inner))
+	b.AddVXLAN(&VXLAN{VNI: spec.VNI})
+	b.AddBytes(inner)
+	return b.Bytes()
+}
+
+// VXLANSpec describes a VXLAN-encapsulated tenant packet.
+type VXLANSpec struct {
+	OuterSrcMAC, OuterDstMAC MAC
+	OuterSrc, OuterDst       IPv4Addr
+	OuterSrcPort             uint16
+	VNI                      uint32
+
+	InnerSrcMAC, InnerDstMAC MAC
+	InnerSrc, InnerDst       IPv4Addr
+	InnerProto               IPProtocol
+	InnerSPort, InnerDPort   uint16
+	PayloadLen               int
+	PayloadByte              byte
+}
+
+func innerFrame(spec *VXLANSpec) []byte {
+	ib := NewBuilder(EthernetLen + IPv4MinLen + TCPMinLen + spec.PayloadLen)
+	payload := make([]byte, spec.PayloadLen)
+	for i := range payload {
+		payload[i] = spec.PayloadByte
+	}
+	ib.AddEthernet(&Ethernet{Dst: spec.InnerDstMAC, Src: spec.InnerSrcMAC, EtherType: EtherTypeIPv4})
+	switch spec.InnerProto {
+	case IPProtocolUDP:
+		ip := IPv4{TTL: 64, Protocol: IPProtocolUDP, Src: spec.InnerSrc, Dst: spec.InnerDst}
+		ib.AddIPv4(&ip, UDPLen+len(payload))
+		ib.AddUDP(&UDP{SrcPort: spec.InnerSPort, DstPort: spec.InnerDPort}, spec.InnerSrc, spec.InnerDst, payload)
+	case IPProtocolTCP:
+		ip := IPv4{TTL: 64, Protocol: IPProtocolTCP, Src: spec.InnerSrc, Dst: spec.InnerDst}
+		ib.AddIPv4(&ip, TCPMinLen+len(payload))
+		ib.AddTCP(&TCP{SrcPort: spec.InnerSPort, DstPort: spec.InnerDPort, Flags: TCPAck, Window: 65535}, spec.InnerSrc, spec.InnerDst, payload)
+	default:
+		ip := IPv4{TTL: 64, Protocol: spec.InnerProto, Src: spec.InnerSrc, Dst: spec.InnerDst}
+		ib.AddIPv4(&ip, len(payload))
+		ib.AddBytes(payload)
+	}
+	return ib.Bytes()
+}
+
+// VerifyIPv4Checksum reports whether the IPv4 header bytes carry a valid
+// checksum.
+func VerifyIPv4Checksum(hdr []byte) bool {
+	if len(hdr) < IPv4MinLen {
+		return false
+	}
+	return Checksum(hdr) == 0
+}
+
+// Uint32ToBytes is a helper for table keys.
+func Uint32ToBytes(v uint32) [4]byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return b
+}

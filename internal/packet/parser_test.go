@@ -1,0 +1,403 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleSpec() *VXLANSpec {
+	return &VXLANSpec{
+		OuterSrcMAC:  MAC{0x02, 0, 0, 0, 0, 0x01},
+		OuterDstMAC:  MAC{0x02, 0, 0, 0, 0, 0x02},
+		OuterSrc:     IPv4Addr{100, 64, 0, 1},
+		OuterDst:     IPv4Addr{100, 64, 0, 2},
+		OuterSrcPort: 40000,
+		VNI:          12345,
+		InnerSrcMAC:  MAC{0x02, 0, 0, 0, 1, 0x01},
+		InnerDstMAC:  MAC{0x02, 0, 0, 0, 1, 0x02},
+		InnerSrc:     IPv4Addr{192, 168, 0, 10},
+		InnerDst:     IPv4Addr{8, 8, 8, 8},
+		InnerProto:   IPProtocolTCP,
+		InnerSPort:   51000,
+		InnerDPort:   443,
+		PayloadLen:   64,
+		PayloadByte:  0x5a,
+	}
+}
+
+func TestParseVXLANStack(t *testing.T) {
+	b := NewBuilder(512)
+	pkt := BuildVXLANPacket(b, sampleSpec())
+
+	var p Parsed
+	if err := Parse(pkt, &p); err != nil {
+		t.Fatal(err)
+	}
+	want := LayerEthernet | LayerIPv4 | LayerUDP | LayerVXLAN |
+		LayerInnerEthernet | LayerInnerIPv4 | LayerInnerTCP
+	if p.Decoded != want {
+		t.Fatalf("decoded = %b, want %b", p.Decoded, want)
+	}
+	if p.VNI() != 12345 {
+		t.Fatalf("VNI = %d", p.VNI())
+	}
+	if p.IP.Src != (IPv4Addr{100, 64, 0, 1}) {
+		t.Fatalf("outer src = %v", p.IP.Src)
+	}
+	if p.InIP.Dst != (IPv4Addr{8, 8, 8, 8}) {
+		t.Fatalf("inner dst = %v", p.InIP.Dst)
+	}
+	if p.InTCP.DstPort != 443 {
+		t.Fatalf("inner dport = %d", p.InTCP.DstPort)
+	}
+	if len(p.Payload) != 64 || p.Payload[0] != 0x5a {
+		t.Fatalf("payload len=%d first=%#x", len(p.Payload), p.Payload)
+	}
+	if p.HeaderLen != len(pkt)-64 {
+		t.Fatalf("header len = %d, want %d", p.HeaderLen, len(pkt)-64)
+	}
+	// Outer IPv4 length field covers everything after Ethernet.
+	if int(p.IP.Length) != len(pkt)-EthernetLen {
+		t.Fatalf("outer IP length = %d, want %d", p.IP.Length, len(pkt)-EthernetLen)
+	}
+	if !VerifyIPv4Checksum(pkt[EthernetLen : EthernetLen+IPv4MinLen]) {
+		t.Fatal("outer IP checksum invalid")
+	}
+}
+
+func TestParseInnerUDP(t *testing.T) {
+	spec := sampleSpec()
+	spec.InnerProto = IPProtocolUDP
+	b := NewBuilder(512)
+	pkt := BuildVXLANPacket(b, spec)
+	var p Parsed
+	if err := Parse(pkt, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Decoded&LayerInnerUDP == 0 {
+		t.Fatal("inner UDP not decoded")
+	}
+	f := p.InnerFlow()
+	if f.Proto != IPProtocolUDP || f.SPort != 51000 || f.DPort != 443 {
+		t.Fatalf("inner flow = %v", f)
+	}
+}
+
+func TestParsePlainTCP(t *testing.T) {
+	// Non-encapsulated packet: Ethernet/IPv4/TCP.
+	b := NewBuilder(256)
+	ip := IPv4{TTL: 64, Protocol: IPProtocolTCP, Src: IPv4Addr{1, 1, 1, 1}, Dst: IPv4Addr{2, 2, 2, 2}}
+	b.AddEthernet(&Ethernet{EtherType: EtherTypeIPv4})
+	payload := []byte("data")
+	b.AddIPv4(&ip, TCPMinLen+len(payload))
+	b.AddTCP(&TCP{SrcPort: 1000, DstPort: 2000, Flags: TCPAck}, ip.Src, ip.Dst, payload)
+
+	var p Parsed
+	if err := Parse(b.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Decoded != LayerEthernet|LayerIPv4|LayerTCP {
+		t.Fatalf("decoded = %b", p.Decoded)
+	}
+	if p.VNI() != 0 {
+		t.Fatalf("VNI = %d for non-VXLAN", p.VNI())
+	}
+	of := p.OuterFlow()
+	if of.SPort != 1000 || of.DPort != 2000 || of.Proto != IPProtocolTCP {
+		t.Fatalf("outer flow = %v", of)
+	}
+	// InnerFlow falls back to outer for plain packets.
+	if p.InnerFlow() != of {
+		t.Fatal("InnerFlow should equal OuterFlow for plain packets")
+	}
+	if string(p.Payload) != "data" {
+		t.Fatalf("payload = %q", p.Payload)
+	}
+}
+
+func TestParseVLANTagged(t *testing.T) {
+	b := NewBuilder(256)
+	b.AddEthernet(&Ethernet{EtherType: EtherTypeVLAN})
+	b.AddVLAN(&VLAN{ID: 77, EtherType: EtherTypeIPv4})
+	ip := IPv4{TTL: 64, Protocol: IPProtocolICMP, Src: IPv4Addr{1, 0, 0, 1}, Dst: IPv4Addr{1, 0, 0, 2}}
+	b.AddIPv4(&ip, ICMPv4Len)
+	icmpBuf := make([]byte, ICMPv4Len)
+	ic := ICMPv4{Type: ICMPv4EchoRequest, ID: 1, Seq: 1}
+	ic.SerializeTo(icmpBuf, 0)
+	b.AddBytes(icmpBuf)
+
+	var p Parsed
+	if err := Parse(b.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Decoded&LayerVLAN == 0 || p.VLAN.ID != 77 {
+		t.Fatalf("VLAN not decoded: %b id=%d", p.Decoded, p.VLAN.ID)
+	}
+	if p.Decoded&LayerICMPv4 == 0 || p.ICMP.Type != ICMPv4EchoRequest {
+		t.Fatal("ICMP not decoded")
+	}
+}
+
+func TestParseUnknownEtherType(t *testing.T) {
+	b := NewBuilder(64)
+	b.AddEthernet(&Ethernet{EtherType: EtherTypeARP})
+	b.AddBytes([]byte{1, 2, 3, 4})
+	var p Parsed
+	if err := Parse(b.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Decoded != LayerEthernet {
+		t.Fatalf("decoded = %b", p.Decoded)
+	}
+	if len(p.Payload) != 4 {
+		t.Fatalf("payload = %v", p.Payload)
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	b := NewBuilder(512)
+	pkt := BuildVXLANPacket(b, sampleSpec())
+	// Every truncation point up to the full header stack must either parse
+	// a shallower stack or return ErrTooShort — never panic.
+	var p Parsed
+	full := len(pkt)
+	for cut := 0; cut < full; cut++ {
+		err := Parse(pkt[:cut], &p)
+		if err != nil && err != ErrTooShort && err != ErrBadLength && err != ErrBadVersion {
+			t.Fatalf("cut=%d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+func TestParseReuseOverwrites(t *testing.T) {
+	b := NewBuilder(512)
+	vxlan := BuildVXLANPacket(b, sampleSpec())
+	var p Parsed
+	if err := Parse(vxlan, &p); err != nil {
+		t.Fatal(err)
+	}
+	// Now parse a plain packet into the same struct: stale VXLAN layers
+	// must not leak through Decoded.
+	b2 := NewBuilder(128)
+	b2.AddEthernet(&Ethernet{EtherType: EtherTypeIPv4})
+	ip := IPv4{TTL: 1, Protocol: IPProtocolUDP, Src: IPv4Addr{9, 9, 9, 9}, Dst: IPv4Addr{8, 8, 8, 8}}
+	b2.AddIPv4(&ip, UDPLen)
+	b2.AddUDP(&UDP{SrcPort: 1, DstPort: 53}, ip.Src, ip.Dst, nil)
+	if err := Parse(b2.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Decoded&LayerVXLAN != 0 || p.VNI() != 0 {
+		t.Fatal("stale VXLAN layer leaked on reuse")
+	}
+}
+
+func TestFiveTupleHashStability(t *testing.T) {
+	f := FiveTuple{Src: IPv4Addr{1, 2, 3, 4}, Dst: IPv4Addr{5, 6, 7, 8}, Proto: IPProtocolTCP, SPort: 80, DPort: 8080}
+	h1, h2 := f.Hash(), f.Hash()
+	if h1 != h2 {
+		t.Fatal("hash not deterministic")
+	}
+	g := f
+	g.SPort = 81
+	if g.Hash() == h1 {
+		t.Fatal("port change did not alter hash")
+	}
+}
+
+func TestFiveTupleReverse(t *testing.T) {
+	f := FiveTuple{Src: IPv4Addr{1, 1, 1, 1}, Dst: IPv4Addr{2, 2, 2, 2}, Proto: IPProtocolUDP, SPort: 10, DPort: 20}
+	r := f.Reverse()
+	if r.Src != f.Dst || r.Dst != f.Src || r.SPort != f.DPort || r.DPort != f.SPort {
+		t.Fatalf("reverse = %v", r)
+	}
+	if r.Reverse() != f {
+		t.Fatal("double reverse != identity")
+	}
+}
+
+func TestFiveTupleHashDistribution(t *testing.T) {
+	// Hash must spread sequential flows across buckets reasonably evenly.
+	const flows, buckets = 100000, 64
+	counts := make([]int, buckets)
+	for i := 0; i < flows; i++ {
+		f := FiveTuple{
+			Src:   IPv4FromUint32(0x0a000000 + uint32(i)),
+			Dst:   IPv4Addr{10, 1, 0, 1},
+			Proto: IPProtocolTCP,
+			SPort: uint16(1024 + i%50000),
+			DPort: 443,
+		}
+		counts[f.Hash()%buckets]++
+	}
+	want := flows / buckets
+	for i, c := range counts {
+		if c < want*7/10 || c > want*13/10 {
+			t.Fatalf("bucket %d has %d flows, want %d±30%%", i, c, want)
+		}
+	}
+}
+
+func TestBuilderReset(t *testing.T) {
+	b := NewBuilder(64)
+	b.AddBytes([]byte{1, 2, 3})
+	if len(b.Bytes()) != 3 {
+		t.Fatalf("len = %d", len(b.Bytes()))
+	}
+	b.Reset()
+	if len(b.Bytes()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	b.AddBytes(make([]byte, 1000)) // force growth past initial capacity
+	if len(b.Bytes()) != 1000 {
+		t.Fatalf("grow failed: %d", len(b.Bytes()))
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	pkt := []byte{1, 2, 3, 4, 5}
+	m := Meta{PSN: 0x8123, OrdQ: 3, Flags: MetaFlagDrop | MetaFlagHeaderOnly, PodID: 42, IngressNS: 123456789}
+	tagged := AppendMeta(pkt, &m)
+	if len(tagged) != len(pkt)+MetaLen {
+		t.Fatalf("tagged len = %d", len(tagged))
+	}
+	if !HasMeta(tagged) {
+		t.Fatal("HasMeta false")
+	}
+	var got Meta
+	body, err := StripMeta(tagged, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("meta mismatch: %+v != %+v", got, m)
+	}
+	if len(body) != 5 || body[0] != 1 {
+		t.Fatalf("body = %v", body)
+	}
+}
+
+func TestMetaMissing(t *testing.T) {
+	var m Meta
+	if _, err := StripMeta([]byte{1, 2, 3}, &m); err != ErrNoMeta {
+		t.Fatalf("short err = %v", err)
+	}
+	junk := make([]byte, 32)
+	if _, err := StripMeta(junk, &m); err != ErrNoMeta {
+		t.Fatalf("bad magic err = %v", err)
+	}
+	if HasMeta(junk) {
+		t.Fatal("HasMeta true on junk")
+	}
+}
+
+func TestUpdateMetaFlags(t *testing.T) {
+	tagged := AppendMeta([]byte{9}, &Meta{PSN: 7})
+	if err := UpdateMetaFlags(tagged, MetaFlagDrop); err != nil {
+		t.Fatal(err)
+	}
+	var m Meta
+	if err := PeekMeta(tagged, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Flags != MetaFlagDrop || m.PSN != 7 {
+		t.Fatalf("meta after update = %+v", m)
+	}
+	if err := UpdateMetaFlags([]byte{1, 2}, MetaFlagDrop); err != ErrNoMeta {
+		t.Fatalf("short update err = %v", err)
+	}
+}
+
+func TestPSNWindow(t *testing.T) {
+	cases := []struct {
+		psn, head, tail uint16
+		want            bool
+	}{
+		{psn: 5, head: 0, tail: 10, want: true},
+		{psn: 10, head: 0, tail: 10, want: false},      // tail exclusive
+		{psn: 0, head: 0, tail: 10, want: true},        // head inclusive
+		{psn: 5, head: 5, tail: 5, want: false},        // empty window
+		{psn: 4090, head: 4000, tail: 100, want: true}, // wrapped window
+		{psn: 50, head: 4000, tail: 100, want: true},   // wrapped window low side
+		{psn: 200, head: 4000, tail: 100, want: false}, // outside wrapped
+		{psn: 0x1005, head: 0, tail: 10, want: true},   // aliasing: low 12 bits in window
+	}
+	for i, c := range cases {
+		if got := PSNInWindow(c.psn, c.head, c.tail); got != c.want {
+			t.Errorf("case %d: PSNInWindow(%d,%d,%d) = %v, want %v", i, c.psn, c.head, c.tail, got, c.want)
+		}
+	}
+}
+
+func TestPSNWindowProperty(t *testing.T) {
+	// For any non-empty window of size < 4096, a PSN equal to head+k for
+	// k < size must be inside; head+size must be outside.
+	f := func(headRaw, sizeRaw uint16) bool {
+		head := headRaw % 4096
+		size := sizeRaw%4095 + 1
+		tail := (head + size) % 4096
+		for _, k := range []uint16{0, size / 2, size - 1} {
+			if !PSNInWindow((head+k)%4096, head, tail) {
+				return false
+			}
+		}
+		return !PSNInWindow(tail, head, tail)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendMetaDoesNotAlias(t *testing.T) {
+	// Append must behave like append: capacity-limited base slice stays
+	// intact.
+	base := make([]byte, 4, 4)
+	tagged := AppendMeta(base, &Meta{PSN: 1})
+	tagged[0] = 0xFF
+	if base[0] == 0xFF {
+		t.Skip("append reused capacity (allowed, mirrors stdlib append)")
+	}
+}
+
+func BenchmarkParseVXLAN(b *testing.B) {
+	bld := NewBuilder(512)
+	pkt := BuildVXLANPacket(bld, sampleSpec())
+	var p Parsed
+	b.ReportAllocs()
+	b.SetBytes(int64(len(pkt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Parse(pkt, &p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFiveTupleHash(b *testing.B) {
+	f := FiveTuple{Src: IPv4Addr{1, 2, 3, 4}, Dst: IPv4Addr{5, 6, 7, 8}, Proto: IPProtocolTCP, SPort: 80, DPort: 8080}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.Hash()
+	}
+}
+
+func BenchmarkBuildVXLANPacket(b *testing.B) {
+	bld := NewBuilder(512)
+	spec := sampleSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = BuildVXLANPacket(bld, spec)
+	}
+}
+
+func BenchmarkMetaAppendStrip(b *testing.B) {
+	pkt := make([]byte, 256, 256+MetaLen)
+	m := Meta{PSN: 100, OrdQ: 1, PodID: 2, IngressNS: 42}
+	var out Meta
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tagged := AppendMeta(pkt, &m)
+		if _, err := StripMeta(tagged, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

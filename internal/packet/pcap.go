@@ -1,0 +1,174 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// pcap support: the workload generators build real wire bytes, so traces
+// of simulated traffic can be captured and inspected with standard tools
+// (tcpdump -r, Wireshark). The format is classic libpcap (not pcapng):
+// a 24-byte global header followed by 16-byte per-packet records.
+
+const (
+	pcapMagic      = 0xa1b2c3d4 // microsecond timestamps, native order
+	pcapMagicNanos = 0xa1b23c4d // nanosecond timestamps
+	pcapVersionMaj = 2
+	pcapVersionMin = 4
+	// LinkTypeEthernet is the DLT for Ethernet frames.
+	LinkTypeEthernet = 1
+)
+
+// ErrBadPcap reports a malformed capture file.
+var ErrBadPcap = errors.New("packet: malformed pcap")
+
+// PcapWriter writes a libpcap capture with nanosecond timestamps.
+type PcapWriter struct {
+	w       io.Writer
+	snaplen uint32
+	wrote   bool
+	n       int
+}
+
+// NewPcapWriter creates a writer; the header is emitted lazily on the
+// first packet. snaplen <= 0 defaults to 65535.
+func NewPcapWriter(w io.Writer, snaplen int) *PcapWriter {
+	if snaplen <= 0 {
+		snaplen = 65535
+	}
+	return &PcapWriter{w: w, snaplen: uint32(snaplen)}
+}
+
+func (pw *PcapWriter) writeHeader() error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagicNanos)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVersionMaj)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVersionMin)
+	// thiszone, sigfigs = 0
+	binary.LittleEndian.PutUint32(hdr[16:20], pw.snaplen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	_, err := pw.w.Write(hdr[:])
+	return err
+}
+
+// WritePacket appends one frame captured at ts (virtual or wall time).
+func (pw *PcapWriter) WritePacket(ts time.Duration, frame []byte) error {
+	if !pw.wrote {
+		if err := pw.writeHeader(); err != nil {
+			return err
+		}
+		pw.wrote = true
+	}
+	capLen := uint32(len(frame))
+	if capLen > pw.snaplen {
+		capLen = pw.snaplen
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(ts/time.Second))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(ts%time.Second))
+	binary.LittleEndian.PutUint32(rec[8:12], capLen)
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+	if _, err := pw.w.Write(rec[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(frame[:capLen])
+	if err == nil {
+		pw.n++
+	}
+	return err
+}
+
+// Count returns the number of packets written.
+func (pw *PcapWriter) Count() int { return pw.n }
+
+// PcapPacket is one record read back from a capture.
+type PcapPacket struct {
+	TS      time.Duration
+	Data    []byte
+	OrigLen int
+}
+
+// PcapReader reads classic libpcap files (micro- or nanosecond variants,
+// either byte order).
+type PcapReader struct {
+	r     io.Reader
+	order binary.ByteOrder
+	nanos bool
+}
+
+// NewPcapReader parses the global header.
+func NewPcapReader(r io.Reader) (*PcapReader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("packet: pcap header: %w", err)
+	}
+	pr := &PcapReader{r: r}
+	switch magic := binary.LittleEndian.Uint32(hdr[0:4]); magic {
+	case pcapMagic:
+		pr.order = binary.LittleEndian
+	case pcapMagicNanos:
+		pr.order = binary.LittleEndian
+		pr.nanos = true
+	default:
+		switch binary.BigEndian.Uint32(hdr[0:4]) {
+		case pcapMagic:
+			pr.order = binary.BigEndian
+		case pcapMagicNanos:
+			pr.order = binary.BigEndian
+			pr.nanos = true
+		default:
+			return nil, ErrBadPcap
+		}
+	}
+	if pr.order.Uint32(hdr[20:24]) != LinkTypeEthernet {
+		return nil, fmt.Errorf("packet: pcap link type %d unsupported", pr.order.Uint32(hdr[20:24]))
+	}
+	return pr, nil
+}
+
+// Next reads one packet; io.EOF at the end of the capture.
+func (pr *PcapReader) Next() (PcapPacket, error) {
+	var rec [16]byte
+	if _, err := io.ReadFull(pr.r, rec[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return PcapPacket{}, ErrBadPcap
+		}
+		return PcapPacket{}, err
+	}
+	sec := pr.order.Uint32(rec[0:4])
+	frac := pr.order.Uint32(rec[4:8])
+	capLen := pr.order.Uint32(rec[8:12])
+	origLen := pr.order.Uint32(rec[12:16])
+	if capLen > 1<<24 {
+		return PcapPacket{}, ErrBadPcap
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return PcapPacket{}, ErrBadPcap
+	}
+	ts := time.Duration(sec) * time.Second
+	if pr.nanos {
+		ts += time.Duration(frac)
+	} else {
+		ts += time.Duration(frac) * time.Microsecond
+	}
+	return PcapPacket{TS: ts, Data: data, OrigLen: int(origLen)}, nil
+}
+
+// ReadAll drains the capture.
+func (pr *PcapReader) ReadAll() ([]PcapPacket, error) {
+	var out []PcapPacket
+	for {
+		p, err := pr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}

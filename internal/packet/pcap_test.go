@@ -1,0 +1,161 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestPcapRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf, 0)
+
+	b := NewBuilder(512)
+	frames := [][]byte{
+		append([]byte(nil), BuildVXLANPacket(b, sampleSpec())...),
+	}
+	b2 := NewBuilder(128)
+	b2.AddEthernet(&Ethernet{EtherType: EtherTypeARP})
+	b2.AddBytes([]byte{1, 2, 3, 4})
+	frames = append(frames, append([]byte(nil), b2.Bytes()...))
+
+	for i, f := range frames {
+		ts := time.Duration(i+1) * 1500 * time.Nanosecond
+		if err := w.WritePacket(ts, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 2 {
+		t.Fatalf("count = %d", w.Count())
+	}
+
+	r, err := NewPcapReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d packets", len(got))
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i].Data, frames[i]) {
+			t.Fatalf("frame %d corrupted", i)
+		}
+		if got[i].TS != time.Duration(i+1)*1500*time.Nanosecond {
+			t.Fatalf("frame %d ts = %v", i, got[i].TS)
+		}
+		if got[i].OrigLen != len(frames[i]) {
+			t.Fatalf("frame %d origlen = %d", i, got[i].OrigLen)
+		}
+	}
+	// Re-parse the first frame: it must still be a valid VXLAN packet.
+	var p Parsed
+	if err := Parse(got[0].Data, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.VNI() != 12345 {
+		t.Fatalf("VNI after pcap round trip = %d", p.VNI())
+	}
+}
+
+func TestPcapSnaplenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf, 32)
+	frame := make([]byte, 100)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	if err := w.WritePacket(time.Second, frame); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewPcapReader(&buf)
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 32 || p.OrigLen != 100 {
+		t.Fatalf("caplen=%d origlen=%d", len(p.Data), p.OrigLen)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestPcapEmptyWriterProducesNothing(t *testing.T) {
+	var buf bytes.Buffer
+	NewPcapWriter(&buf, 0)
+	if buf.Len() != 0 {
+		t.Fatal("header written before first packet")
+	}
+}
+
+func TestPcapReaderRejectsJunk(t *testing.T) {
+	if _, err := NewPcapReader(bytes.NewReader(make([]byte, 10))); err == nil {
+		t.Fatal("short header accepted")
+	}
+	junk := make([]byte, 24)
+	if _, err := NewPcapReader(bytes.NewReader(junk)); err != ErrBadPcap {
+		t.Fatalf("bad magic: %v", err)
+	}
+	// Valid header but wrong link type.
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf, 0)
+	w.WritePacket(0, []byte{1})
+	raw := buf.Bytes()
+	binary.LittleEndian.PutUint32(raw[20:24], 101) // DLT_RAW
+	if _, err := NewPcapReader(bytes.NewReader(raw)); err == nil {
+		t.Fatal("wrong link type accepted")
+	}
+}
+
+func TestPcapTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf, 0)
+	w.WritePacket(0, make([]byte, 64))
+	raw := buf.Bytes()
+	// Cut mid-record.
+	r, err := NewPcapReader(bytes.NewReader(raw[:len(raw)-10]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != ErrBadPcap {
+		t.Fatalf("truncated record: %v", err)
+	}
+}
+
+func TestPcapMicrosecondVariant(t *testing.T) {
+	// Hand-build a microsecond-magic capture.
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 0xa1b2c3d4)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2)
+	binary.LittleEndian.PutUint16(hdr[6:8], 4)
+	binary.LittleEndian.PutUint32(hdr[16:20], 65535)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], 1)   // 1s
+	binary.LittleEndian.PutUint32(rec[4:8], 500) // 500µs
+	binary.LittleEndian.PutUint32(rec[8:12], 2)
+	binary.LittleEndian.PutUint32(rec[12:16], 2)
+	buf.Write(rec[:])
+	buf.Write([]byte{0xaa, 0xbb})
+
+	r, err := NewPcapReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Second + 500*time.Microsecond
+	if p.TS != want {
+		t.Fatalf("ts = %v, want %v", p.TS, want)
+	}
+}

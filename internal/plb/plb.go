@@ -1,0 +1,418 @@
+// Package plb implements Albatross's packet-level load balancing: the
+// plb_dispatch ingress spray and the plb_reorder egress reordering engine
+// (paper §4.1).
+//
+// Dispatch sprays packets round-robin across a GW pod's CPU cores. Because
+// packets of one flow are processed by different cores with different
+// latencies, the egress must restore per-flow order. Reordering is done per
+// *group of flows*: each pod owns 1–8 order-preserving queues (flow→queue
+// by 5-tuple hash), each with three structures of 4K entries:
+//
+//   - FIFO: reorder info (PSN + ingress timestamp), appended at dispatch.
+//     A packet may be transmitted only when its info reaches the head.
+//   - BUF:  returned packets, indexed by psn[11:0].
+//   - BITMAP: a light mirror of BUF (valid bit + PSN) for O(1) head checks.
+//
+// The legal check validates returned packets by testing psn[11:0] against
+// the [head, tail) window — intentionally allowing rare aliasing of stale
+// packets, which the reorder check's PSN comparison (case 3) later catches.
+// The reorder check at the FIFO head implements the paper's four cases:
+// timeout release (1), busy-wait (2), stale-PSN best-effort send (3), and
+// in-order transmit (4). A drop flag in the returned meta releases reorder
+// resources immediately, avoiding head-of-line blocking on CPU-side drops.
+package plb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"albatross/internal/packet"
+	"albatross/internal/sim"
+)
+
+// Config parameterizes a pod's PLB unit.
+type Config struct {
+	// NumOrderQueues is the number of order-preserving queues (paper: 1-8,
+	// proportional to the pod's core count).
+	NumOrderQueues int
+	// QueueDepth is entries per queue; power of two, paper value 4096
+	// (buffers 100µs at 40Mpps per queue).
+	QueueDepth int
+	// Timeout releases a blocked FIFO head (paper: 100µs; most services
+	// finish under 50µs).
+	Timeout sim.Duration
+	// HOLThreshold classifies a head wait as a head-of-line blocking event
+	// for Fig. 12 accounting. Default 10µs.
+	HOLThreshold sim.Duration
+	// NumCores is the number of RX data queues/cores to spray across.
+	NumCores int
+	// PodID tags emitted meta headers.
+	PodID uint16
+	// PayloadRetained, if set, is consulted when a header-only packet fails
+	// the legal check: if the NIC payload buffer no longer retains the
+	// payload, the header is dropped instead of sent (paper §4.1). nil
+	// means payloads are always retained.
+	PayloadRetained func(m packet.Meta, now sim.Time) bool
+}
+
+// DefaultConfig returns the paper's production parameters for a pod with
+// the given core count: one order queue per ~10 cores (min 1, max 8),
+// matching the proportionality rule of internal/pod.
+func DefaultConfig(podID uint16, cores int) Config {
+	q := (cores + 5) / 10
+	if q < 1 {
+		q = 1
+	}
+	if q > 8 {
+		q = 8
+	}
+	return Config{
+		NumOrderQueues: q,
+		QueueDepth:     4096,
+		Timeout:        100 * sim.Microsecond,
+		HOLThreshold:   10 * sim.Microsecond,
+		NumCores:       cores,
+		PodID:          podID,
+	}
+}
+
+// Emission is a packet leaving the egress pipeline.
+type Emission struct {
+	Item any
+	Meta packet.Meta
+	Time sim.Time
+	// InOrder is true for case-4 transmissions; false for best-effort
+	// (legal-check failure or case-3 stale PSN).
+	InOrder bool
+}
+
+// Stats are PLB counters. All are cumulative.
+type Stats struct {
+	Dispatched        uint64 // packets sprayed to cores
+	DispatchDrops     uint64 // FIFO full at dispatch (heavy hitter overrun)
+	EmittedInOrder    uint64 // case 4
+	EmittedBestEffort uint64 // legal-check fail or case 3 (disordered)
+	HeaderDrops       uint64 // header-only packet whose payload was gone
+	DropFlagReleases  uint64 // resources freed by the active drop flag
+	TimeoutReleases   uint64 // case 1: head released after Timeout
+	HOLEvents         uint64 // head waits exceeding HOLThreshold
+	StaleEmissions    uint64 // case 3 occurrences specifically
+}
+
+// DisorderRate returns disordered emissions / all emissions.
+func (s *Stats) DisorderRate() float64 {
+	total := s.EmittedInOrder + s.EmittedBestEffort
+	if total == 0 {
+		return 0
+	}
+	return float64(s.EmittedBestEffort) / float64(total)
+}
+
+type reorderInfo struct {
+	psn uint16
+	enq sim.Time
+}
+
+type bufSlot struct {
+	valid   bool
+	dropped bool // drop flag set by the GW pod
+	psn     uint16
+	item    any
+	meta    packet.Meta
+}
+
+// ordQueue is one order-preserving queue: FIFO + BUF + BITMAP. The BITMAP
+// of the paper (valid bit + PSN per slot) is folded into bufSlot's valid/psn
+// fields; hardware splits them only to keep the comparison memory tiny.
+type ordQueue struct {
+	head, tail uint16 // free-running PSN pointers; in-flight = tail-head
+	info       []reorderInfo
+	buf        []bufSlot
+	timer      *sim.Timer
+}
+
+// PLB is one GW pod's packet-level load balancing unit.
+type PLB struct {
+	cfg    Config
+	engine *sim.Engine
+	emit   func(Emission)
+	queues []ordQueue
+	mask   uint16
+	rr     int // round-robin core cursor
+	stats  Stats
+	// headWait records how long FIFO heads waited before release; feeds the
+	// Fig. 11/12 analyses.
+	headWait *waitAgg
+}
+
+// waitAgg is a tiny mean/max aggregate of FIFO-head wait durations.
+type waitAgg struct {
+	count uint64
+	sum   sim.Duration
+	max   sim.Duration
+}
+
+func (h *waitAgg) add(d sim.Duration) {
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// New creates a PLB unit. emit is invoked (synchronously, in virtual time)
+// for every packet leaving the egress.
+func New(engine *sim.Engine, cfg Config, emit func(Emission)) (*PLB, error) {
+	if cfg.NumOrderQueues < 1 || cfg.NumOrderQueues > 64 {
+		return nil, fmt.Errorf("plb: NumOrderQueues %d out of [1,64]", cfg.NumOrderQueues)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	if cfg.QueueDepth&(cfg.QueueDepth-1) != 0 || cfg.QueueDepth > 1<<15 {
+		return nil, fmt.Errorf("plb: QueueDepth %d must be a power of two <= 32768", cfg.QueueDepth)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 100 * sim.Microsecond
+	}
+	if cfg.HOLThreshold <= 0 {
+		cfg.HOLThreshold = 10 * sim.Microsecond
+	}
+	if cfg.NumCores <= 0 {
+		return nil, fmt.Errorf("plb: NumCores %d must be positive", cfg.NumCores)
+	}
+	p := &PLB{
+		cfg:      cfg,
+		engine:   engine,
+		emit:     emit,
+		queues:   make([]ordQueue, cfg.NumOrderQueues),
+		mask:     uint16(cfg.QueueDepth - 1),
+		headWait: &waitAgg{},
+	}
+	for i := range p.queues {
+		p.queues[i].info = make([]reorderInfo, cfg.QueueDepth)
+		p.queues[i].buf = make([]bufSlot, cfg.QueueDepth)
+	}
+	return p, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (p *PLB) Stats() Stats { return p.stats }
+
+// Config returns the active configuration.
+func (p *PLB) Config() Config { return p.cfg }
+
+// InFlight returns the number of packets currently tracked in queue q's
+// FIFO.
+func (p *PLB) InFlight(q int) int {
+	return int(p.queues[q].tail - p.queues[q].head)
+}
+
+// windowBits is log2(QueueDepth): the number of PSN bits the legal check
+// compares (12 at the paper's 4K depth).
+func (p *PLB) windowBits() int { return bits.TrailingZeros16(p.mask + 1) }
+
+// OrdQueueFor returns the order queue index for a flow hash (get_ordq_idx).
+func (p *PLB) OrdQueueFor(flowHash uint32) uint8 {
+	return uint8(flowHash % uint32(len(p.queues)))
+}
+
+// Dispatch admits a packet into PLB: it selects the order queue by flow
+// hash, assigns the PSN, appends reorder info to the FIFO, and picks the
+// next core round-robin. It returns the target core and the meta header to
+// attach. ok=false means the FIFO was full and the packet must be dropped
+// (the heavy-hitter overrun case, paper constraint C1).
+func (p *PLB) Dispatch(flowHash uint32) (core int, meta packet.Meta, ok bool) {
+	now := p.engine.Now()
+	qi := p.OrdQueueFor(flowHash)
+	q := &p.queues[qi]
+	if q.tail-q.head >= uint16(p.cfg.QueueDepth) {
+		p.stats.DispatchDrops++
+		return 0, packet.Meta{}, false
+	}
+	psn := q.tail
+	q.tail++
+	idx := psn & p.mask
+	q.info[idx] = reorderInfo{psn: psn, enq: now}
+	// A fresh FIFO entry must not see a stale BUF slot from 4K PSNs ago.
+	q.buf[idx].valid = false
+	q.buf[idx].dropped = false
+
+	core = p.rr
+	p.rr = (p.rr + 1) % p.cfg.NumCores
+	p.stats.Dispatched++
+
+	meta = packet.Meta{
+		PSN:       psn,
+		OrdQ:      qi,
+		PodID:     p.cfg.PodID,
+		IngressNS: int64(now),
+	}
+	// The first packet of an idle queue arms the head timer.
+	p.armTimer(qi)
+	return core, meta, true
+}
+
+// inWindow is the legal check: psn's low windowBits bits against [head,
+// tail) in modulo-depth arithmetic. head/tail are free-running 16-bit
+// counters with tail-head <= depth.
+func (p *PLB) inWindow(psn, head, tail uint16) bool {
+	inflight := tail - head
+	if inflight == 0 {
+		return false
+	}
+	if int(inflight) >= p.cfg.QueueDepth {
+		// Full FIFO: every low-bit value aliases into the window.
+		return true
+	}
+	m := p.mask
+	pp, h, t := psn&m, head&m, tail&m
+	if h < t {
+		return pp >= h && pp < t
+	}
+	return pp >= h || pp < t
+}
+
+// Return hands a processed packet back from a CPU core (the TX data queue
+// path). The legal check either admits it into BUF/BITMAP or transmits it
+// best-effort; then the reorder check drains the FIFO head.
+func (p *PLB) Return(item any, meta packet.Meta) {
+	now := p.engine.Now()
+	if int(meta.OrdQ) >= len(p.queues) {
+		// Corrupt meta: treat as best-effort.
+		p.emitBestEffort(item, meta, now)
+		return
+	}
+	q := &p.queues[meta.OrdQ]
+	if !p.inWindow(meta.PSN, q.head, q.tail) {
+		// Legal-check failure: a timed-out packet. Best-effort transmit,
+		// except header-only packets whose payload is gone.
+		if meta.Flags&packet.MetaFlagHeaderOnly != 0 && p.cfg.PayloadRetained != nil &&
+			!p.cfg.PayloadRetained(meta, now) {
+			p.stats.HeaderDrops++
+			return
+		}
+		if meta.Flags&packet.MetaFlagDrop != 0 {
+			// Dropped by the pod and already timed out: nothing to free.
+			return
+		}
+		p.emitBestEffort(item, meta, now)
+		p.drain(meta.OrdQ)
+		return
+	}
+	idx := meta.PSN & p.mask
+	slot := &q.buf[idx]
+	slot.valid = true
+	slot.psn = meta.PSN
+	slot.item = item
+	slot.meta = meta
+	slot.dropped = meta.Flags&packet.MetaFlagDrop != 0
+	p.drain(meta.OrdQ)
+}
+
+func (p *PLB) emitBestEffort(item any, meta packet.Meta, now sim.Time) {
+	p.stats.EmittedBestEffort++
+	if p.emit != nil {
+		p.emit(Emission{Item: item, Meta: meta, Time: now, InOrder: false})
+	}
+}
+
+// drain runs the reorder check at queue qi's FIFO head until it blocks.
+func (p *PLB) drain(qi uint8) {
+	now := p.engine.Now()
+	q := &p.queues[qi]
+	for q.head != q.tail {
+		idx := q.head & p.mask
+		info := q.info[idx]
+		slot := &q.buf[idx]
+		age := now.Sub(info.enq)
+
+		switch {
+		case slot.valid && slot.psn == info.psn:
+			// Case 4 (or a drop-flag release).
+			p.noteHeadWait(age)
+			if slot.dropped {
+				p.stats.DropFlagReleases++
+			} else {
+				p.stats.EmittedInOrder++
+				if p.emit != nil {
+					p.emit(Emission{Item: slot.item, Meta: slot.meta, Time: now, InOrder: true})
+				}
+			}
+			slot.valid = false
+			slot.item = nil
+			q.head++
+		case slot.valid && slot.psn != info.psn:
+			// Case 3: a stale (timed-out) packet aliased through the legal
+			// check. Send it best-effort; keep waiting for the real head.
+			p.stats.StaleEmissions++
+			p.emitBestEffort(slot.item, slot.meta, now)
+			slot.valid = false
+			slot.item = nil
+			// Do not advance head: the true packet may still arrive.
+			if age >= p.cfg.Timeout {
+				p.noteHeadWait(age)
+				p.stats.TimeoutReleases++
+				q.head++
+				continue
+			}
+			p.armTimer(qi)
+			return
+		default:
+			// Case 2: not yet returned.
+			if age >= p.cfg.Timeout {
+				// Case 1: release the head.
+				p.noteHeadWait(age)
+				p.stats.TimeoutReleases++
+				q.head++
+				continue
+			}
+			p.armTimer(qi)
+			return
+		}
+	}
+	// Queue drained: cancel any pending timer.
+	if q.timer != nil {
+		q.timer.Stop()
+		q.timer = nil
+	}
+}
+
+// armTimer schedules (or reschedules) the head-timeout event for queue qi.
+func (p *PLB) armTimer(qi uint8) {
+	q := &p.queues[qi]
+	if q.head == q.tail {
+		return
+	}
+	idx := q.head & p.mask
+	deadline := q.info[idx].enq.Add(p.cfg.Timeout)
+	if q.timer != nil {
+		q.timer.Stop()
+	}
+	now := p.engine.Now()
+	if deadline < now {
+		deadline = now
+	}
+	q.timer = p.engine.At(deadline, func() {
+		q.timer = nil
+		p.drain(qi)
+	})
+}
+
+func (p *PLB) noteHeadWait(d sim.Duration) {
+	p.headWait.add(d)
+	if d > p.cfg.HOLThreshold {
+		p.stats.HOLEvents++
+	}
+}
+
+// HeadWaitMean returns the mean FIFO-head wait.
+func (p *PLB) HeadWaitMean() sim.Duration {
+	if p.headWait.count == 0 {
+		return 0
+	}
+	return p.headWait.sum / sim.Duration(p.headWait.count)
+}
+
+// HeadWaitMax returns the maximum observed FIFO-head wait.
+func (p *PLB) HeadWaitMax() sim.Duration { return p.headWait.max }

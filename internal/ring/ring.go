@@ -1,0 +1,219 @@
+// Package ring implements the kernel-bypass driver substrate under the
+// gateway dataplane: fixed-size descriptor rings (the RX/TX queue pairs
+// each VF exposes) and buffer mempools with per-core caches.
+//
+// The paper's §4.1 item 4 reports two production incidents this layer
+// reproduces: "insufficient PCIe driver descriptors" (an undersized ring
+// overflows during bursts, dropping packets and HOL-blocking the reorder
+// FIFO) and "a too-small DPDK_RTE_MEMPOOL_CACHE" (per-core allocation
+// caches thrash against the shared pool, adding per-packet latency).
+package ring
+
+import (
+	"fmt"
+)
+
+// Ring is a single-producer single-consumer descriptor ring, as used for
+// one RX or TX queue. Capacity is a power of two; the ring holds capacity
+// descriptors (one slot is not wasted — indices are free-running).
+type Ring[T any] struct {
+	buf  []T
+	mask uint64
+	head uint64 // consumer position
+	tail uint64 // producer position
+
+	// Enqueued/Dequeued/Rejected are lifetime counters.
+	Enqueued uint64
+	Dequeued uint64
+	Rejected uint64
+}
+
+// New creates a ring with the given power-of-two capacity.
+func New[T any](capacity int) (*Ring[T], error) {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("ring: capacity %d must be a positive power of two", capacity)
+	}
+	return &Ring[T]{buf: make([]T, capacity), mask: uint64(capacity - 1)}, nil
+}
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued descriptors.
+func (r *Ring[T]) Len() int { return int(r.tail - r.head) }
+
+// Free returns remaining slots.
+func (r *Ring[T]) Free() int { return r.Cap() - r.Len() }
+
+// Enqueue adds one descriptor; false if the ring is full (the "insufficient
+// descriptors" drop).
+func (r *Ring[T]) Enqueue(v T) bool {
+	if r.tail-r.head >= uint64(len(r.buf)) {
+		r.Rejected++
+		return false
+	}
+	r.buf[r.tail&r.mask] = v
+	r.tail++
+	r.Enqueued++
+	return true
+}
+
+// EnqueueBurst adds up to len(vs) descriptors and returns how many fit
+// (DPDK-style burst semantics).
+func (r *Ring[T]) EnqueueBurst(vs []T) int {
+	n := 0
+	for _, v := range vs {
+		if !r.Enqueue(v) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Dequeue removes the oldest descriptor.
+func (r *Ring[T]) Dequeue() (T, bool) {
+	var zero T
+	if r.head == r.tail {
+		return zero, false
+	}
+	v := r.buf[r.head&r.mask]
+	r.buf[r.head&r.mask] = zero
+	r.head++
+	r.Dequeued++
+	return v, true
+}
+
+// DequeueBurst fills out with up to len(out) descriptors, returning the
+// count.
+func (r *Ring[T]) DequeueBurst(out []T) int {
+	n := 0
+	for i := range out {
+		v, ok := r.Dequeue()
+		if !ok {
+			break
+		}
+		out[i] = v
+		n++
+	}
+	return n
+}
+
+// Mempool is a fixed-size buffer pool with per-core caches, mirroring
+// rte_mempool. Get prefers the caller's core cache; on a cache miss it
+// refills from the shared pool (the expensive path the paper's too-small
+// DPDK_RTE_MEMPOOL_CACHE forced on every allocation).
+type Mempool struct {
+	shared    []uint32 // free buffer IDs
+	caches    [][]uint32
+	cacheSize int
+
+	// SharedRefills counts slow-path refills from/to the shared pool —
+	// the contention metric the paper's fix reduced.
+	SharedRefills uint64
+	// Allocs/Frees are lifetime counters; AllocFails counts exhaustion.
+	Allocs     uint64
+	Frees      uint64
+	AllocFails uint64
+}
+
+// NewMempool creates a pool of n buffers shared by cores, each with a
+// per-core cache of cacheSize entries (0 disables caching).
+func NewMempool(n, cores, cacheSize int) (*Mempool, error) {
+	if n <= 0 || cores <= 0 {
+		return nil, fmt.Errorf("ring: mempool needs positive size/cores (n=%d cores=%d)", n, cores)
+	}
+	if cacheSize < 0 {
+		return nil, fmt.Errorf("ring: negative cache size")
+	}
+	m := &Mempool{
+		shared:    make([]uint32, n),
+		caches:    make([][]uint32, cores),
+		cacheSize: cacheSize,
+	}
+	for i := range m.shared {
+		m.shared[i] = uint32(i)
+	}
+	for i := range m.caches {
+		m.caches[i] = make([]uint32, 0, cacheSize)
+	}
+	return m, nil
+}
+
+// CacheSize returns the per-core cache capacity.
+func (m *Mempool) CacheSize() int { return m.cacheSize }
+
+// Available returns free buffers in the shared pool (excluding caches).
+func (m *Mempool) Available() int { return len(m.shared) }
+
+// Get allocates a buffer for the given core. ok=false means exhaustion.
+func (m *Mempool) Get(core int) (uint32, bool) {
+	c := &m.caches[core]
+	if len(*c) == 0 {
+		// Slow path: refill half the cache (or one buffer) from shared.
+		refill := m.cacheSize / 2
+		if refill < 1 {
+			refill = 1
+		}
+		if refill > len(m.shared) {
+			refill = len(m.shared)
+		}
+		if refill == 0 {
+			m.AllocFails++
+			return 0, false
+		}
+		m.SharedRefills++
+		*c = append(*c, m.shared[len(m.shared)-refill:]...)
+		m.shared = m.shared[:len(m.shared)-refill]
+	}
+	id := (*c)[len(*c)-1]
+	*c = (*c)[:len(*c)-1]
+	m.Allocs++
+	return id, true
+}
+
+// Put returns a buffer from the given core.
+func (m *Mempool) Put(core int, id uint32) {
+	c := &m.caches[core]
+	if len(*c) >= m.cacheSize {
+		// Cache full: flush half back to the shared pool.
+		flush := m.cacheSize / 2
+		if flush < 1 {
+			flush = len(*c)
+		}
+		m.SharedRefills++
+		m.shared = append(m.shared, (*c)[len(*c)-flush:]...)
+		*c = (*c)[:len(*c)-flush]
+	}
+	*c = append(*c, id)
+	m.Frees++
+}
+
+// RefillRate returns shared-pool round trips per allocation — the paper's
+// contention signal (a well-sized cache keeps this near zero).
+func (m *Mempool) RefillRate() float64 {
+	if m.Allocs == 0 {
+		return 0
+	}
+	return float64(m.SharedRefills) / float64(m.Allocs)
+}
+
+// QueuePair couples an RX and a TX descriptor ring, as allocated per VF
+// per data core (appendix §B: n RX/TX queue pairs per VF).
+type QueuePair[T any] struct {
+	RX *Ring[T]
+	TX *Ring[T]
+}
+
+// NewQueuePair creates a pair with the given per-ring depth.
+func NewQueuePair[T any](depth int) (*QueuePair[T], error) {
+	rx, err := New[T](depth)
+	if err != nil {
+		return nil, err
+	}
+	tx, err := New[T](depth)
+	if err != nil {
+		return nil, err
+	}
+	return &QueuePair[T]{RX: rx, TX: tx}, nil
+}

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"fmt"
+
+	"albatross/internal/lpm"
+	"albatross/internal/packet"
+)
+
+// ACL is an ordered first-match rule list, the security-group style filter
+// the VPC-Internet service consults per packet. Rules match on source and
+// destination prefixes, protocol, and destination port range; the first
+// matching rule's action wins, with a configurable default.
+type ACL struct {
+	rules         []ACLRule
+	defaultAction ACLAction
+
+	// Hits counts per-rule matches (index-aligned with rules).
+	Hits []uint64
+	// DefaultHits counts packets that fell through to the default.
+	DefaultHits uint64
+}
+
+// ACLAction is a rule verdict.
+type ACLAction uint8
+
+// Actions.
+const (
+	ACLPermit ACLAction = iota
+	ACLDeny
+)
+
+func (a ACLAction) String() string {
+	if a == ACLDeny {
+		return "deny"
+	}
+	return "permit"
+}
+
+// ACLRule is one row.
+type ACLRule struct {
+	// SrcPrefix/SrcLen bound the source (Len 0 = any).
+	SrcPrefix uint32
+	SrcLen    int
+	// DstPrefix/DstLen bound the destination.
+	DstPrefix uint32
+	DstLen    int
+	// Proto 0 matches any protocol.
+	Proto packet.IPProtocol
+	// DPortLo..DPortHi bound the destination port (0,0 = any).
+	DPortLo, DPortHi uint16
+	Action           ACLAction
+}
+
+// Validate checks a rule's fields.
+func (r ACLRule) Validate() error {
+	if r.SrcLen < 0 || r.SrcLen > 32 || r.DstLen < 0 || r.DstLen > 32 {
+		return fmt.Errorf("service: acl prefix length out of range")
+	}
+	if r.DPortHi != 0 && r.DPortLo > r.DPortHi {
+		return fmt.Errorf("service: acl port range inverted (%d > %d)", r.DPortLo, r.DPortHi)
+	}
+	return nil
+}
+
+func (r ACLRule) String() string {
+	return fmt.Sprintf("%v src=%s dst=%s proto=%d dport=%d-%d",
+		r.Action,
+		lpm.PrefixString(lpm.Canonical(r.SrcPrefix, r.SrcLen), r.SrcLen),
+		lpm.PrefixString(lpm.Canonical(r.DstPrefix, r.DstLen), r.DstLen),
+		r.Proto, r.DPortLo, r.DPortHi)
+}
+
+// NewACL creates an ACL with the given default action.
+func NewACL(defaultAction ACLAction) *ACL {
+	return &ACL{defaultAction: defaultAction}
+}
+
+// Append adds a rule at the end (lowest priority so far).
+func (a *ACL) Append(r ACLRule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	a.rules = append(a.rules, r)
+	a.Hits = append(a.Hits, 0)
+	return nil
+}
+
+// Len returns the rule count.
+func (a *ACL) Len() int { return len(a.rules) }
+
+func (r *ACLRule) matches(f packet.FiveTuple) bool {
+	if r.SrcLen > 0 && f.Src.Uint32()&lpm.Mask(r.SrcLen) != lpm.Canonical(r.SrcPrefix, r.SrcLen) {
+		return false
+	}
+	if r.DstLen > 0 && f.Dst.Uint32()&lpm.Mask(r.DstLen) != lpm.Canonical(r.DstPrefix, r.DstLen) {
+		return false
+	}
+	if r.Proto != 0 && r.Proto != f.Proto {
+		return false
+	}
+	if r.DPortLo != 0 || r.DPortHi != 0 {
+		if f.DPort < r.DPortLo || f.DPort > r.DPortHi {
+			return false
+		}
+	}
+	return true
+}
+
+// Evaluate returns the verdict for a flow (first match wins).
+func (a *ACL) Evaluate(f packet.FiveTuple) ACLAction {
+	for i := range a.rules {
+		if a.rules[i].matches(f) {
+			a.Hits[i]++
+			return a.rules[i].Action
+		}
+	}
+	a.DefaultHits++
+	return a.defaultAction
+}
+
+// SetACL attaches an ACL engine to the service: its verdict overrides the
+// Populate-time denied set for packets the engine denies. Pass nil to
+// detach.
+func (s *Service) SetACL(a *ACL) { s.acl = a }

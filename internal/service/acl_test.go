@@ -1,0 +1,123 @@
+package service
+
+import (
+	"testing"
+
+	"albatross/internal/cachesim"
+	"albatross/internal/packet"
+)
+
+func tup(src, dst uint32, proto packet.IPProtocol, dport uint16) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src: packet.IPv4FromUint32(src), Dst: packet.IPv4FromUint32(dst),
+		Proto: proto, SPort: 40000, DPort: dport,
+	}
+}
+
+func TestACLFirstMatchWins(t *testing.T) {
+	a := NewACL(ACLPermit)
+	// Rule 0: deny everything from 10.0.0.0/8 to port 22.
+	if err := a.Append(ACLRule{SrcPrefix: 0x0a000000, SrcLen: 8,
+		Proto: packet.IPProtocolTCP, DPortLo: 22, DPortHi: 22, Action: ACLDeny}); err != nil {
+		t.Fatal(err)
+	}
+	// Rule 1: permit 10.1.0.0/16 broadly (never reached for port 22).
+	if err := a.Append(ACLRule{SrcPrefix: 0x0a010000, SrcLen: 16, Action: ACLPermit}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	if v := a.Evaluate(tup(0x0a010101, 0x08080808, packet.IPProtocolTCP, 22)); v != ACLDeny {
+		t.Fatalf("ssh from 10/8 = %v, want deny (first match)", v)
+	}
+	if v := a.Evaluate(tup(0x0a010101, 0x08080808, packet.IPProtocolTCP, 443)); v != ACLPermit {
+		t.Fatalf("https = %v", v)
+	}
+	if a.Hits[0] != 1 || a.Hits[1] != 1 {
+		t.Fatalf("hits = %v", a.Hits)
+	}
+}
+
+func TestACLDefaultAction(t *testing.T) {
+	deny := NewACL(ACLDeny)
+	if v := deny.Evaluate(tup(1, 2, packet.IPProtocolUDP, 53)); v != ACLDeny {
+		t.Fatal("default deny broken")
+	}
+	if deny.DefaultHits != 1 {
+		t.Fatalf("default hits = %d", deny.DefaultHits)
+	}
+}
+
+func TestACLFieldMatching(t *testing.T) {
+	a := NewACL(ACLPermit)
+	a.Append(ACLRule{
+		SrcPrefix: 0x0a000000, SrcLen: 8,
+		DstPrefix: 0xc0a80000, DstLen: 16,
+		Proto: packet.IPProtocolUDP, DPortLo: 1000, DPortHi: 2000,
+		Action: ACLDeny,
+	})
+	match := tup(0x0a123456, 0xc0a80101, packet.IPProtocolUDP, 1500)
+	if a.Evaluate(match) != ACLDeny {
+		t.Fatal("full match failed")
+	}
+	// Each field mismatch falls through to permit.
+	cases := []packet.FiveTuple{
+		tup(0x0b000001, 0xc0a80101, packet.IPProtocolUDP, 1500), // wrong src
+		tup(0x0a123456, 0xc0a90101, packet.IPProtocolUDP, 1500), // wrong dst
+		tup(0x0a123456, 0xc0a80101, packet.IPProtocolTCP, 1500), // wrong proto
+		tup(0x0a123456, 0xc0a80101, packet.IPProtocolUDP, 999),  // below range
+		tup(0x0a123456, 0xc0a80101, packet.IPProtocolUDP, 2001), // above range
+	}
+	for i, f := range cases {
+		if a.Evaluate(f) != ACLPermit {
+			t.Fatalf("case %d should fall through", i)
+		}
+	}
+}
+
+func TestACLValidation(t *testing.T) {
+	a := NewACL(ACLPermit)
+	if err := a.Append(ACLRule{SrcLen: 33}); err == nil {
+		t.Fatal("bad prefix accepted")
+	}
+	if err := a.Append(ACLRule{DPortLo: 100, DPortHi: 50}); err == nil {
+		t.Fatal("inverted port range accepted")
+	}
+	r := ACLRule{SrcPrefix: 0x0a000000, SrcLen: 8, Action: ACLDeny}
+	if r.String() == "" || ACLPermit.String() != "permit" || ACLDeny.String() != "deny" {
+		t.Fatal("strings")
+	}
+}
+
+func TestServiceWithACL(t *testing.T) {
+	flows := testFlows(100, 31)
+	s := newService(t, VPCInternet, flows)
+	acl := NewACL(ACLPermit)
+	// Deny everything to the first flow's destination /32.
+	acl.Append(ACLRule{
+		DstPrefix: flows[0].Tuple.Dst.Uint32(), DstLen: 32, Action: ACLDeny,
+	})
+	s.SetACL(acl)
+	if res := s.Process(flows[0].Tuple, flows[0].VNI); !res.Drop {
+		t.Fatal("ACL-denied flow passed")
+	}
+	// Other flows unaffected (unless they share the same dst).
+	passed := 0
+	for _, f := range flows[1:] {
+		if f.Tuple.Dst == flows[0].Tuple.Dst {
+			continue
+		}
+		if res := s.Process(f.Tuple, f.VNI); !res.Drop {
+			passed++
+		}
+	}
+	if passed == 0 {
+		t.Fatal("ACL denied everything")
+	}
+	s.SetACL(nil)
+	if res := s.Process(flows[0].Tuple, flows[0].VNI); res.Drop {
+		t.Fatal("detached ACL still dropping")
+	}
+	_ = cachesim.DefaultL3
+}

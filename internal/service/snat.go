@@ -1,0 +1,150 @@
+package service
+
+import (
+	"fmt"
+
+	"albatross/internal/flowtable"
+	"albatross/internal/packet"
+	"albatross/internal/sim"
+)
+
+// SNAT implements the source NAT engine behind the VPC-Internet service:
+// private tenant flows are rewritten to (public IP, port) bindings drawn
+// from an EIP pool, with per-flow sessions tracked in a session table.
+// This is the canonical "stateful NF" of the paper's §7 discussion —
+// session creation/teardown is write-light, per-packet counters are
+// write-heavy.
+type SNAT struct {
+	publicIPs []packet.IPv4Addr
+	portLo    uint16
+	portHi    uint16
+
+	sessions *flowtable.SessionTable
+	// bindings maps (publicIP index, port) -> owning flow, for conflict-
+	// free allocation and reverse lookups.
+	bindings map[binding]packet.FiveTuple
+	// cursor rotates allocations across the pool.
+	cursor uint32
+
+	// Allocs/AllocFails/Releases are lifetime counters.
+	Allocs     uint64
+	AllocFails uint64
+	Releases   uint64
+}
+
+type binding struct {
+	ipIdx uint16
+	port  uint16
+}
+
+// NewSNAT creates an engine over the given public IP pool and port range.
+// maxSessions bounds the session table (0 = unbounded); idle sets the
+// session timeout.
+func NewSNAT(publicIPs []packet.IPv4Addr, portLo, portHi uint16, maxSessions int, idle sim.Duration) (*SNAT, error) {
+	if len(publicIPs) == 0 {
+		return nil, fmt.Errorf("service: snat needs at least one public IP")
+	}
+	if portLo == 0 || portLo > portHi {
+		return nil, fmt.Errorf("service: snat port range [%d,%d] invalid", portLo, portHi)
+	}
+	return &SNAT{
+		publicIPs: publicIPs,
+		portLo:    portLo,
+		portHi:    portHi,
+		sessions:  flowtable.NewSessionTable(maxSessions, idle),
+		bindings:  make(map[binding]packet.FiveTuple),
+	}, nil
+}
+
+// Capacity returns the total number of allocatable bindings.
+func (s *SNAT) Capacity() int {
+	return len(s.publicIPs) * int(s.portHi-s.portLo+1)
+}
+
+// ActiveSessions returns the live session count.
+func (s *SNAT) ActiveSessions() int { return s.sessions.Len() }
+
+// Translate returns the (public IP, port) binding for an outbound flow,
+// allocating a session on first use. ok=false means the pool is exhausted.
+func (s *SNAT) Translate(flow packet.FiveTuple, now sim.Time) (packet.IPv4Addr, uint16, bool) {
+	if sess := s.sessions.Lookup(flow, now); sess != nil {
+		return sess.NATAddr, sess.NATPort, true
+	}
+	// Allocate: round-robin scan from the cursor for a free binding.
+	span := uint32(s.Capacity())
+	ports := uint32(s.portHi - s.portLo + 1)
+	for probe := uint32(0); probe < span; probe++ {
+		idx := (s.cursor + probe) % span
+		b := binding{ipIdx: uint16(idx / ports), port: s.portLo + uint16(idx%ports)}
+		if _, used := s.bindings[b]; used {
+			continue
+		}
+		s.cursor = idx + 1
+		s.bindings[b] = flow
+		sess := s.sessions.Create(flow, now)
+		sess.NATAddr = s.publicIPs[b.ipIdx]
+		sess.NATPort = b.port
+		sess.State = flowtable.StateEstablished
+		s.Allocs++
+		return sess.NATAddr, sess.NATPort, true
+	}
+	s.AllocFails++
+	return packet.IPv4Addr{}, 0, false
+}
+
+// ReverseLookup resolves an inbound (public IP, port) back to the tenant
+// flow, for return traffic.
+func (s *SNAT) ReverseLookup(pub packet.IPv4Addr, port uint16) (packet.FiveTuple, bool) {
+	for i, ip := range s.publicIPs {
+		if ip == pub {
+			f, ok := s.bindings[binding{ipIdx: uint16(i), port: port}]
+			return f, ok
+		}
+	}
+	return packet.FiveTuple{}, false
+}
+
+// Release tears down a flow's session and frees its binding. It uses a
+// non-expiring lookup so idle sessions can still be reclaimed explicitly.
+func (s *SNAT) Release(flow packet.FiveTuple) bool {
+	sess := s.sessions.Peek(flow)
+	if sess == nil {
+		return false
+	}
+	for i, ip := range s.publicIPs {
+		if ip == sess.NATAddr {
+			delete(s.bindings, binding{ipIdx: uint16(i), port: sess.NATPort})
+			break
+		}
+	}
+	sess.State = flowtable.StateClosing
+	s.sessions.Delete(flow)
+	s.Releases++
+	return true
+}
+
+// ExpireIdle sweeps idle sessions and frees their bindings. Returns the
+// number reclaimed.
+func (s *SNAT) ExpireIdle(now sim.Time) int {
+	n := 0
+	for _, f := range s.sessions.IdleFlows(now) {
+		if s.Release(f) {
+			n++
+		}
+	}
+	return n
+}
+
+// RewriteOutbound applies the translation to a parsed packet's inner
+// header fields, returning the rewritten source. It is the functional
+// dataplane step (the cost model charges the snat_sess table separately).
+func (s *SNAT) RewriteOutbound(flow packet.FiveTuple, now sim.Time) (packet.FiveTuple, bool) {
+	pub, port, ok := s.Translate(flow, now)
+	if !ok {
+		return flow, false
+	}
+	out := flow
+	out.Src = pub
+	out.SPort = port
+	return out, true
+}

@@ -1,0 +1,237 @@
+package service
+
+import (
+	"testing"
+	"testing/quick"
+
+	"albatross/internal/packet"
+	"albatross/internal/sim"
+)
+
+func snatFlow(i int) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src:   packet.IPv4FromUint32(0xc0a80000 + uint32(i)),
+		Dst:   packet.IPv4Addr{8, 8, 8, 8},
+		Proto: packet.IPProtocolTCP,
+		SPort: uint16(10000 + i%50000),
+		DPort: 443,
+	}
+}
+
+func pool(n int) []packet.IPv4Addr {
+	out := make([]packet.IPv4Addr, n)
+	for i := range out {
+		out[i] = packet.IPv4Addr{203, 0, 113, byte(i + 1)}
+	}
+	return out
+}
+
+func TestSNATValidation(t *testing.T) {
+	if _, err := NewSNAT(nil, 1024, 2048, 0, 0); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	if _, err := NewSNAT(pool(1), 0, 2048, 0, 0); err == nil {
+		t.Fatal("port 0 accepted")
+	}
+	if _, err := NewSNAT(pool(1), 2048, 1024, 0, 0); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestSNATBindingStable(t *testing.T) {
+	s, err := NewSNAT(pool(2), 1024, 1033, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Capacity() != 20 {
+		t.Fatalf("capacity = %d", s.Capacity())
+	}
+	f := snatFlow(1)
+	ip1, p1, ok := s.Translate(f, 0)
+	if !ok {
+		t.Fatal("first translate failed")
+	}
+	// Same flow, same binding.
+	for i := 0; i < 5; i++ {
+		ip2, p2, ok := s.Translate(f, sim.Time(i))
+		if !ok || ip2 != ip1 || p2 != p1 {
+			t.Fatalf("binding moved: %v:%d -> %v:%d", ip1, p1, ip2, p2)
+		}
+	}
+	if s.Allocs != 1 {
+		t.Fatalf("allocs = %d", s.Allocs)
+	}
+	if s.ActiveSessions() != 1 {
+		t.Fatalf("sessions = %d", s.ActiveSessions())
+	}
+}
+
+func TestSNATDistinctBindings(t *testing.T) {
+	s, _ := NewSNAT(pool(2), 1024, 1123, 0, 0) // capacity 200
+	seen := map[[2]any]bool{}
+	for i := 0; i < 200; i++ {
+		ip, port, ok := s.Translate(snatFlow(i), 0)
+		if !ok {
+			t.Fatalf("translate %d failed", i)
+		}
+		key := [2]any{ip, port}
+		if seen[key] {
+			t.Fatalf("binding %v:%d reused", ip, port)
+		}
+		seen[key] = true
+	}
+	// Pool exhausted.
+	if _, _, ok := s.Translate(snatFlow(999), 0); ok {
+		t.Fatal("translate beyond capacity")
+	}
+	if s.AllocFails != 1 {
+		t.Fatalf("alloc fails = %d", s.AllocFails)
+	}
+}
+
+func TestSNATReverseLookup(t *testing.T) {
+	s, _ := NewSNAT(pool(2), 1024, 1033, 0, 0)
+	f := snatFlow(7)
+	ip, port, _ := s.Translate(f, 0)
+	back, ok := s.ReverseLookup(ip, port)
+	if !ok || back != f {
+		t.Fatalf("reverse = %v %v", back, ok)
+	}
+	if _, ok := s.ReverseLookup(packet.IPv4Addr{9, 9, 9, 9}, port); ok {
+		t.Fatal("reverse of unknown IP")
+	}
+	if _, ok := s.ReverseLookup(ip, 9999); ok {
+		t.Fatal("reverse of unused port")
+	}
+}
+
+func TestSNATReleaseRecycles(t *testing.T) {
+	s, _ := NewSNAT(pool(1), 1024, 1025, 0, 0) // capacity 2
+	f1, f2, f3 := snatFlow(1), snatFlow(2), snatFlow(3)
+	s.Translate(f1, 0)
+	s.Translate(f2, 0)
+	if _, _, ok := s.Translate(f3, 0); ok {
+		t.Fatal("over capacity")
+	}
+	if !s.Release(f1) {
+		t.Fatal("release failed")
+	}
+	if s.Release(f1) {
+		t.Fatal("double release")
+	}
+	if _, _, ok := s.Translate(f3, 2); !ok {
+		t.Fatal("binding not recycled")
+	}
+	if s.Releases != 1 {
+		t.Fatalf("releases = %d", s.Releases)
+	}
+}
+
+func TestSNATIdleExpiry(t *testing.T) {
+	s, _ := NewSNAT(pool(1), 1024, 1033, 0, 100*sim.Microsecond)
+	for i := 0; i < 5; i++ {
+		s.Translate(snatFlow(i), 0)
+	}
+	// Keep flow 0 fresh.
+	s.Translate(snatFlow(0), sim.Time(90*sim.Microsecond))
+	n := s.ExpireIdle(sim.Time(150 * sim.Microsecond))
+	if n != 4 {
+		t.Fatalf("expired %d, want 4", n)
+	}
+	if s.ActiveSessions() != 1 {
+		t.Fatalf("sessions = %d", s.ActiveSessions())
+	}
+	// Freed bindings are allocatable again.
+	for i := 10; i < 14; i++ {
+		if _, _, ok := s.Translate(snatFlow(i), sim.Time(200*sim.Microsecond)); !ok {
+			t.Fatalf("post-expiry alloc %d failed", i)
+		}
+	}
+}
+
+func TestSNATRewriteOutbound(t *testing.T) {
+	s, _ := NewSNAT(pool(1), 2000, 2010, 0, 0)
+	f := snatFlow(3)
+	out, ok := s.RewriteOutbound(f, 0)
+	if !ok {
+		t.Fatal("rewrite failed")
+	}
+	if out.Src != (packet.IPv4Addr{203, 0, 113, 1}) {
+		t.Fatalf("src = %v", out.Src)
+	}
+	if out.SPort < 2000 || out.SPort > 2010 {
+		t.Fatalf("sport = %d", out.SPort)
+	}
+	if out.Dst != f.Dst || out.DPort != f.DPort || out.Proto != f.Proto {
+		t.Fatal("non-source fields mutated")
+	}
+}
+
+// Property: bindings are never shared between concurrently active flows,
+// and reverse lookup is consistent, under any interleaving of translate
+// and release operations.
+func TestSNATBindingUniquenessProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s, err := NewSNAT(pool(2), 1024, 1039, 0, 0) // capacity 32
+		if err != nil {
+			return false
+		}
+		type bind struct {
+			ip   packet.IPv4Addr
+			port uint16
+		}
+		active := map[bind]packet.FiveTuple{}
+		flowBind := map[packet.FiveTuple]bind{}
+		now := sim.Time(0)
+		for _, op := range ops {
+			now++
+			flow := snatFlow(int(op) % 40)
+			if op%3 == 0 {
+				if b, ok := flowBind[flow]; ok {
+					if !s.Release(flow) {
+						return false
+					}
+					delete(active, b)
+					delete(flowBind, flow)
+				}
+				continue
+			}
+			ip, port, ok := s.Translate(flow, now)
+			if !ok {
+				continue // exhausted is legal
+			}
+			b := bind{ip, port}
+			if owner, used := active[b]; used && owner != flow {
+				return false // shared binding!
+			}
+			if prev, had := flowBind[flow]; had && prev != b {
+				return false // binding moved under an active session
+			}
+			active[b] = flow
+			flowBind[flow] = b
+			// Reverse lookup agrees.
+			back, ok := s.ReverseLookup(ip, port)
+			if !ok || back != flow {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSNATTranslateHit(b *testing.B) {
+	s, _ := NewSNAT(pool(8), 1024, 65000, 0, 0)
+	flows := make([]packet.FiveTuple, 1024)
+	for i := range flows {
+		flows[i] = snatFlow(i)
+		s.Translate(flows[i], 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Translate(flows[i&1023], sim.Time(i))
+	}
+}

@@ -1,0 +1,433 @@
+// Package stats provides the measurement primitives used by every
+// Albatross experiment: log-linear latency histograms with percentile
+// extraction, streaming mean/variance accumulators, counters, and fixed
+// time-series buffers for utilization traces.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a log-linear histogram in the style of HdrHistogram: values
+// are bucketed by their magnitude (power-of-two exponent) and a fixed number
+// of linear sub-buckets per magnitude. It records int64 values (nanoseconds
+// in most Albatross experiments) with bounded relative error.
+type Histogram struct {
+	subBits uint // sub-buckets per magnitude = 1<<subBits
+	buckets []uint64
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewHistogram returns a histogram with 1<<subBits linear sub-buckets per
+// power-of-two magnitude (relative error <= 1/2^subBits). subBits in [1, 12].
+func NewHistogram(subBits uint) *Histogram {
+	if subBits < 1 || subBits > 12 {
+		panic(fmt.Sprintf("stats: subBits %d out of [1,12]", subBits))
+	}
+	// 64 magnitudes cover the full int64 range.
+	return &Histogram{
+		subBits: subBits,
+		buckets: make([]uint64, 64<<subBits),
+		min:     math.MaxInt64,
+		max:     math.MinInt64,
+	}
+}
+
+// NewLatencyHistogram returns the standard histogram used for latency
+// measurements (256 sub-buckets, <0.4% relative error).
+func NewLatencyHistogram() *Histogram { return NewHistogram(8) }
+
+// index maps a non-negative value to its bucket index.
+func (h *Histogram) index(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	sub := int64(1) << h.subBits
+	if v < sub {
+		return int(v)
+	}
+	// magnitude = position of the highest set bit above subBits.
+	mag := 63 - leadingZeros64(uint64(v)) - int(h.subBits)
+	subIdx := (v >> uint(mag)) & (sub - 1)
+	return (mag+1)<<h.subBits + int(subIdx)
+}
+
+// lowerBound returns the smallest value that maps to bucket i.
+func (h *Histogram) lowerBound(i int) int64 {
+	sub := 1 << h.subBits
+	if i < sub*2 {
+		return int64(i)
+	}
+	mag := i>>h.subBits - 1
+	subIdx := i & (sub - 1)
+	return (int64(sub) + int64(subIdx)) << uint(mag)
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds a value to the histogram. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := h.index(v)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of recorded values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest recorded value, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]). It returns 0
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			lb := h.lowerBound(i)
+			if lb < h.min {
+				lb = h.min
+			}
+			if lb > h.max {
+				lb = h.max
+			}
+			return lb
+		}
+	}
+	return h.max
+}
+
+// FractionAbove returns the fraction of recorded values strictly greater
+// than v (within bucket resolution).
+func (h *Histogram) FractionAbove(v int64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	idx := h.index(v)
+	var above uint64
+	for i := idx + 1; i < len(h.buckets); i++ {
+		above += h.buckets[i]
+	}
+	return float64(above) / float64(h.count)
+}
+
+// FractionBetween returns the fraction of values in (lo, hi].
+func (h *Histogram) FractionBetween(lo, hi int64) float64 {
+	return h.FractionAbove(lo) - h.FractionAbove(hi)
+}
+
+// Merge adds all samples of other into h. Histograms must share subBits.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.subBits != other.subBits {
+		panic("stats: merging histograms with different precision")
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.count > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Reset clears all recorded samples.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = math.MinInt64
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d p999=%d max=%d",
+		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Max())
+}
+
+// Welford is a streaming mean/variance accumulator (Welford's algorithm).
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add records a sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Stddev returns the population standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Reset clears the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Series is an append-only time series of (t, v) points with summary
+// helpers; used for utilization traces (Fig. 10) and rate plots (Fig. 13/14).
+type Series struct {
+	T []float64
+	V []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.V) }
+
+// Mean returns the mean of the values, or 0 when empty.
+func (s *Series) Mean() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.V {
+		sum += v
+	}
+	return sum / float64(len(s.V))
+}
+
+// Max returns the maximum value, or 0 when empty.
+func (s *Series) Max() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	m := s.V[0]
+	for _, v := range s.V[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Stddev returns the population standard deviation of the values.
+func (s *Series) Stddev() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var sum float64
+	for _, v := range s.V {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.V)))
+}
+
+// StddevAcross computes, pointwise, the standard deviation across several
+// aligned series (e.g. per-core utilization) and returns it as a new series.
+// All series must have the same length.
+func StddevAcross(series []*Series) *Series {
+	out := &Series{}
+	if len(series) == 0 {
+		return out
+	}
+	n := series[0].Len()
+	for _, s := range series {
+		if s.Len() != n {
+			panic("stats: StddevAcross over misaligned series")
+		}
+	}
+	for i := 0; i < n; i++ {
+		var w Welford
+		for _, s := range series {
+			w.Add(s.V[i])
+		}
+		out.Append(series[0].T[i], w.Stddev())
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of a float slice
+// by sorting a copy (exact, for small sample sets).
+func Percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), vals...)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	rank := p / 100 * float64(len(c)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c[lo]
+	}
+	frac := rank - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
+}
+
+// Counter is a monotonically increasing event counter with a name.
+type Counter struct {
+	Name string
+	N    uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.N++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.N += n }
+
+// Table renders aligned text tables for experiment reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < width[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

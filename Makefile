@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test vet race bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-checks the packages with intentional cross-goroutine sharing: the
+# eval worker pool and the shared/sharded session tables.
+race:
+	$(GO) test -race ./internal/eval/ ./internal/flowtable/
+
+# Runs the packet-path microbenchmark and records ns/op, B/op and
+# allocs/op in BENCH_packetpath.json for tracking across commits.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkPacketPath -benchmem . | tee /dev/stderr | \
+	awk '/^BenchmarkPacketPath/ { \
+		printf "{\n  \"benchmark\": \"%s\",\n  \"ns_per_op\": %s,\n  \"bytes_per_op\": %s,\n  \"allocs_per_op\": %s\n}\n", \
+			$$1, $$3, $$5, $$7 }' > BENCH_packetpath.json
+	@cat BENCH_packetpath.json
+
+clean:
+	rm -f BENCH_packetpath.json albatross-bench

@@ -6,9 +6,11 @@
 package albatross
 
 import (
+	"runtime"
 	"testing"
 
 	"albatross/internal/eval"
+	"albatross/internal/sim"
 )
 
 // benchExperiment runs a registered paper experiment once per iteration
@@ -64,6 +66,57 @@ func BenchmarkDriverTuning(b *testing.B)         { benchExperiment(b, "driver") 
 func BenchmarkLLCPrefetch(b *testing.B)          { benchExperiment(b, "tuning") }
 func BenchmarkReorderQueueTradeoff(b *testing.B) { benchExperiment(b, "ordq") }
 func BenchmarkPodIsolation(b *testing.B)         { benchExperiment(b, "isolation") }
+
+// BenchmarkEngineTimerChurn measures the schedule/cancel hot loop the PLB
+// order-queue timers and CPU completions exercise: a sliding window of
+// pending timers where every iteration cancels one and re-arms it. With the
+// event pool and lazy cancellation this runs allocation-free; the 4-ary
+// heap keeps sift depth shallow at this window size.
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	const window = 1024
+	e := sim.NewEngine()
+	fn := func(any) {}
+	timers := make([]sim.Timer, window)
+	for i := range timers {
+		timers[i] = e.AfterArg(sim.Duration(i+1)*sim.Microsecond, fn, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % window
+		timers[slot].Stop()
+		timers[slot] = e.AfterArg(sim.Duration(slot+1)*sim.Microsecond, fn, nil)
+	}
+}
+
+// benchEval runs a fixed subset of fast quick-scale experiments through the
+// RunAll worker pool at the given parallelism. Comparing the Serial and
+// Parallel variants shows the harness speedup on multi-core hosts (they
+// tie on GOMAXPROCS=1).
+func benchEval(b *testing.B, parallelism int) {
+	ids := []string{"tab4", "tab5", "fig7", "fig15", "gopmem"}
+	exps := make([]eval.Experiment, 0, len(ids))
+	for _, id := range ids {
+		e, ok := eval.Find(id)
+		if !ok {
+			b.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	cfg := eval.Config{Seed: 1, Quick: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rec := range eval.RunAll(exps, cfg, parallelism) {
+			if !rec.Result.Passed() {
+				b.Fatalf("%s failed: %v", rec.Exp.ID, rec.Result.FailedChecks())
+			}
+		}
+	}
+}
+
+func BenchmarkEvalSerial(b *testing.B)   { benchEval(b, 1) }
+func BenchmarkEvalParallel(b *testing.B) { benchEval(b, runtime.NumCPU()) }
 
 // BenchmarkPacketPath measures the end-to-end virtual packet path
 // (inject -> classify -> PLB dispatch -> core -> service -> reorder ->

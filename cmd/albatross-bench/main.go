@@ -4,30 +4,52 @@
 //
 // Usage:
 //
-//	albatross-bench               # run every experiment at full scale
-//	albatross-bench -quick        # reduced scale (seconds, not minutes)
+//	albatross-bench                  # run every experiment at full scale
+//	albatross-bench -quick           # reduced scale (seconds, not minutes)
 //	albatross-bench -exp fig8,tab3
+//	albatross-bench -parallel 4      # worker-pool over independent experiments
+//	albatross-bench -json out.json   # machine-readable per-experiment record
 //	albatross-bench -list
 //
-// The process exits nonzero if any shape check fails.
+// Experiments run concurrently across -parallel workers (default: all
+// CPUs); each owns its own engine and seeded generator, and results print
+// in the same order regardless of parallelism, so stdout is byte-identical
+// to a serial run. Per-experiment timings go to stderr (they are the only
+// run-dependent output). The process exits nonzero if any shape check
+// fails.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"albatross/internal/eval"
 )
 
+// jsonRecord is the -json per-experiment entry for tracking the perf
+// trajectory across commits.
+type jsonRecord struct {
+	ID           string   `json:"id"`
+	Title        string   `json:"title"`
+	WallMS       float64  `json:"wall_ms"`
+	Passed       bool     `json:"passed"`
+	FailedChecks []string `json:"failed_checks,omitempty"`
+	Volatile     bool     `json:"volatile,omitempty"`
+}
+
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		quick   = flag.Bool("quick", false, "reduced scale for fast runs")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		quick    = flag.Bool("quick", false, "reduced scale for fast runs")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool size")
+		jsonOut  = flag.String("json", "", "write per-experiment wall time and pass/fail to this file")
 	)
 	flag.Parse()
 
@@ -54,16 +76,42 @@ func main() {
 	}
 
 	cfg := eval.Config{Seed: *seed, Quick: *quick}
+	start := time.Now()
+	recs := eval.RunAll(selected, cfg, *parallel)
+	total := time.Since(start)
+
 	failed := 0
-	for _, e := range selected {
-		start := time.Now()
-		r := e.Run(cfg)
-		fmt.Println(r)
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		if !r.Passed() {
+	jrecs := make([]jsonRecord, 0, len(recs))
+	for _, rec := range recs {
+		fmt.Println(rec.Result)
+		fmt.Fprintf(os.Stderr, "(%s in %v)\n\n", rec.Exp.ID, rec.Wall.Round(time.Millisecond))
+		if !rec.Result.Passed() {
 			failed++
 		}
+		jrecs = append(jrecs, jsonRecord{
+			ID:           rec.Exp.ID,
+			Title:        rec.Exp.Title,
+			WallMS:       float64(rec.Wall.Microseconds()) / 1e3,
+			Passed:       rec.Result.Passed(),
+			FailedChecks: rec.Result.FailedChecks(),
+			Volatile:     rec.Exp.Volatile,
+		})
 	}
+	fmt.Fprintf(os.Stderr, "total wall time %v with %d worker(s)\n", total.Round(time.Millisecond), *parallel)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(jrecs, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding -json output: %v\n", err)
+			os.Exit(2)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+			os.Exit(2)
+		}
+	}
+
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed shape checks\n", failed)
 		os.Exit(1)

@@ -16,6 +16,7 @@ import (
 
 	"albatross/internal/cachesim"
 	"albatross/internal/cpu"
+	"albatross/internal/flowtable"
 	"albatross/internal/gop"
 	"albatross/internal/nicsim"
 	"albatross/internal/packet"
@@ -52,6 +53,10 @@ type Node struct {
 	cfg    NodeConfig
 	caches []*cachesim.Cache
 	pods   []*PodRuntime
+	// addrs is the node-private synthetic address space: table addresses
+	// depend only on deployment order within this node, never on what else
+	// the process created, so identical configs replay identically.
+	addrs *flowtable.AddrSpace
 }
 
 // NewNode creates a node.
@@ -76,6 +81,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Engine: sim.NewEngine(),
 		Server: server,
 		cfg:    cfg,
+		addrs:  flowtable.NewAddrSpace(),
 	}
 	for i := 0; i < cfg.Server.Topology.Nodes; i++ {
 		n.caches = append(n.caches, cachesim.New(cfg.Cache))
@@ -134,8 +140,13 @@ type PodConfig struct {
 // PLB meta trailer.
 const headerSplitBytes = 110 + packet.MetaLen
 
-// pktCtx follows one packet through the pod.
+// pktCtx follows one packet through the pod. Data-path contexts are pooled
+// on the PodRuntime: Inject takes one from the free list and every terminal
+// point of the packet's life (drop, egress completion) returns it. Probe
+// contexts are allocated fresh and never pooled (they are rare and their
+// completion runs user callbacks that may retain them).
 type pktCtx struct {
+	pr      *PodRuntime
 	flow    workload.Flow
 	bytes   int
 	t0      sim.Time
@@ -164,6 +175,11 @@ type PodRuntime struct {
 	mode    pod.Mode // current mode; may change via FallbackToRSS
 	payload *nicsim.PayloadBuffer
 	nextPay uint64
+
+	// ctxFree recycles pktCtx values; cpuDoneFn is onCPUDone bound once so
+	// Enqueue calls do not allocate a method-value closure per packet.
+	ctxFree   []*pktCtx
+	cpuDoneFn func(any)
 
 	// Latency is the end-to-end (wire to wire) latency histogram.
 	Latency *stats.Histogram
@@ -221,6 +237,7 @@ func (n *Node) AddPod(cfg PodConfig) (*PodRuntime, error) {
 		Latency:     n.cfg.Mem,
 		MemoryMult:  memMult,
 		ComputeMult: computeMult,
+		Addrs:       n.addrs,
 	})
 	if err != nil {
 		return nil, err
@@ -239,6 +256,7 @@ func (n *Node) AddPod(cfg PodConfig) (*PodRuntime, error) {
 		CPULatency:  stats.NewLatencyHistogram(),
 		TxPerTenant: make(map[uint32]uint64),
 	}
+	pr.cpuDoneFn = pr.onCPUDone
 	if cfg.HeaderSplit {
 		pr.payload = nicsim.NewPayloadBuffer(cfg.PayloadBufferBytes)
 	}
@@ -301,6 +319,39 @@ func (pr *PodRuntime) Sink() func(workload.Flow, int) {
 	return func(f workload.Flow, bytes int) { pr.Inject(f, bytes) }
 }
 
+// getCtx takes a context from the pool (or allocates the pool's first).
+func (pr *PodRuntime) getCtx() *pktCtx {
+	if n := len(pr.ctxFree); n > 0 {
+		c := pr.ctxFree[n-1]
+		pr.ctxFree[n-1] = nil
+		pr.ctxFree = pr.ctxFree[:n-1]
+		return c
+	}
+	return &pktCtx{}
+}
+
+// putCtx recycles a data-path context at the end of a packet's life.
+func (pr *PodRuntime) putCtx(c *pktCtx) {
+	*c = pktCtx{}
+	pr.ctxFree = append(pr.ctxFree, c)
+}
+
+// dispatchEvent and egressEvent are the NIC-latency engine callbacks in arg
+// form; the pktCtx carries its PodRuntime so no closure is needed.
+func dispatchEvent(arg any) {
+	c := arg.(*pktCtx)
+	c.pr.dispatch(c)
+}
+
+func egressEvent(arg any) {
+	c := arg.(*pktCtx)
+	pr := c.pr
+	pr.Tx++
+	pr.TxPerTenant[c.flow.VNI]++
+	pr.Latency.Record(int64(pr.node.Engine.Now().Sub(c.t0)))
+	pr.putCtx(c)
+}
+
 // Inject runs one packet through the pod's full path.
 func (pr *PodRuntime) Inject(f workload.Flow, bytes int) {
 	n := pr.node
@@ -330,7 +381,12 @@ func (pr *PodRuntime) Inject(f workload.Flow, bytes int) {
 		}
 	}
 
-	ctx := &pktCtx{flow: f, bytes: bytes, t0: now, class: class}
+	ctx := pr.getCtx()
+	ctx.pr = pr
+	ctx.flow = f
+	ctx.bytes = bytes
+	ctx.t0 = now
+	ctx.class = class
 
 	// Header-payload split: park the payload in the NIC buffer; only the
 	// headers (plus meta) cross PCIe.
@@ -343,7 +399,7 @@ func (pr *PodRuntime) Inject(f workload.Flow, bytes int) {
 		pr.PCIeRxBytes += uint64(bytes) + packet.MetaLen
 	}
 
-	n.Engine.After(n.cfg.NIC.IngressLatency(class), func() { pr.dispatch(ctx) })
+	n.Engine.AfterArg(n.cfg.NIC.IngressLatency(class), dispatchEvent, ctx)
 }
 
 // serviceCost computes the packet's CPU demand and drop verdict.
@@ -369,6 +425,7 @@ func (pr *PodRuntime) dispatch(ctx *pktCtx) {
 		core, meta, ok := pr.PLB.Dispatch(ctx.flow.Tuple.Hash())
 		if !ok {
 			pr.PLBDrops++
+			pr.putCtx(ctx)
 			return
 		}
 		if ctx.split {
@@ -378,15 +435,17 @@ func (pr *PodRuntime) dispatch(ctx *pktCtx) {
 		}
 		ctx.meta = meta
 		ctx.viaPLB = true
-		if !pr.Cores[core].Enqueue(ctx, cost, pr.onCPUDone) {
+		if !pr.Cores[core].Enqueue(ctx, cost, pr.cpuDoneFn) {
 			// RX queue overflow: the CPU never sees the packet; its FIFO
 			// entry stays until the 100µs timeout (a real HOL source).
 			pr.QueueDrops++
+			pr.putCtx(ctx)
 		}
 	default:
 		q := pr.RSS.Queue(ctx.flow.Tuple)
-		if !pr.Cores[q].Enqueue(ctx, cost, pr.onCPUDone) {
+		if !pr.Cores[q].Enqueue(ctx, cost, pr.cpuDoneFn) {
 			pr.QueueDrops++
+			pr.putCtx(ctx)
 		}
 	}
 }
@@ -406,10 +465,13 @@ func (pr *PodRuntime) onCPUDone(item any) {
 			}
 			if pr.cfg.DropFlagDisabled {
 				// Silent drop: reorder resources leak until timeout.
+				pr.putCtx(ctx)
 				return
 			}
-			ctx.meta.Flags |= packet.MetaFlagDrop
-			pr.PLB.Return(nil, ctx.meta)
+			meta := ctx.meta
+			meta.Flags |= packet.MetaFlagDrop
+			pr.putCtx(ctx)
+			pr.PLB.Return(nil, meta)
 			return
 		}
 		pr.PLB.Return(ctx, ctx.meta)
@@ -419,6 +481,7 @@ func (pr *PodRuntime) onCPUDone(item any) {
 	// RSS path: no reordering needed.
 	if ctx.drop {
 		pr.ServiceDrop++
+		pr.putCtx(ctx)
 		return
 	}
 	pr.egress(ctx, nicsim.ClassRSS)
@@ -437,6 +500,7 @@ func (pr *PodRuntime) onEmission(em plb.Emission) {
 		// and emission — drop the header.
 		if !pr.payload.Take(ctx.payID) {
 			pr.HeaderDrops++
+			pr.putCtx(ctx)
 			return
 		}
 	}
@@ -450,11 +514,7 @@ func (pr *PodRuntime) egress(ctx *pktCtx, class nicsim.Class) {
 	} else {
 		pr.PCIeTxBytes += uint64(ctx.bytes) + packet.MetaLen
 	}
-	n.Engine.After(n.cfg.NIC.EgressLatency(class), func() {
-		pr.Tx++
-		pr.TxPerTenant[ctx.flow.VNI]++
-		pr.Latency.Record(int64(n.Engine.Now().Sub(ctx.t0)))
-	})
+	n.Engine.AfterArg(n.cfg.NIC.EgressLatency(class), egressEvent, ctx)
 }
 
 // UtilSamplers returns one utilization sampler per data core.

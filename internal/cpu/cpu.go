@@ -31,7 +31,7 @@ type Core struct {
 	queueDepth int
 	busy       bool
 	current    work
-	completion *sim.Timer
+	completion sim.Timer
 	finishAt   sim.Time
 
 	stallUntil sim.Time
@@ -90,14 +90,20 @@ func (c *Core) Enqueue(item any, service sim.Duration, done func(any)) bool {
 	return true
 }
 
+// coreWake and coreFinish are the engine callbacks in arg form, so
+// scheduling them reuses pooled events without a per-call closure.
+func coreWake(arg any) {
+	c := arg.(*Core)
+	if !c.busy && c.engine.Now() >= c.stallUntil {
+		c.next()
+	}
+}
+
+func coreFinish(arg any) { arg.(*Core).finish() }
+
 // scheduleWake arms a timer to begin work when the stall ends.
 func (c *Core) scheduleWake() {
-	until := c.stallUntil
-	c.engine.At(until, func() {
-		if !c.busy && c.engine.Now() >= c.stallUntil {
-			c.next()
-		}
-	})
+	c.engine.AtArg(c.stallUntil, coreWake, c)
 }
 
 func (c *Core) start(w work) {
@@ -105,11 +111,11 @@ func (c *Core) start(w work) {
 	c.current = w
 	c.busyNS += w.service
 	c.finishAt = c.engine.Now().Add(w.service)
-	c.completion = c.engine.At(c.finishAt, c.finish)
+	c.completion = c.engine.AtArg(c.finishAt, coreFinish, c)
 }
 
 func (c *Core) finish() {
-	c.completion = nil
+	c.completion = sim.Timer{}
 	c.busy = false
 	c.Processed++
 	w := c.current
@@ -154,7 +160,7 @@ func (c *Core) Stall(d sim.Duration) {
 		c.completion.Stop()
 		c.finishAt = c.finishAt.Add(d)
 		c.busyNS += d
-		c.completion = c.engine.At(c.finishAt, c.finish)
+		c.completion = c.engine.AtArg(c.finishAt, coreFinish, c)
 	} else if len(c.queue) > 0 {
 		c.scheduleWake()
 	}

@@ -18,8 +18,8 @@ import (
 
 func init() {
 	register("memfreq", "Ablation: DRAM frequency 4800 vs 5600 MHz", runMemFreq)
-	register("meta", "Ablation: PLB meta at packet tail vs head", runMetaPlacement)
-	register("stateful", "Ablation: write-heavy vs write-light stateful NFs", runStateful)
+	registerVolatile("meta", "Ablation: PLB meta at packet tail vs head", runMetaPlacement)
+	registerVolatile("stateful", "Ablation: write-heavy vs write-light stateful NFs", runStateful)
 	register("gopmem", "Ablation: two-stage rate limiter memory", runGopMem)
 }
 
@@ -149,12 +149,20 @@ func runStateful(cfg Config) *Result {
 			wg.Add(1)
 			go func(g int) {
 				defer wg.Done()
+				// Per-core local state: each worker owns its shard outright
+				// (the table's contract — flows are pinned, state never
+				// migrates), so the write path takes no lock at all.
+				local := sd.Shard(g)
 				for i := 0; i < opsPerG; i++ {
 					f := flows[(i+g*31)&1023]
 					if shared {
 						sh.Touch(f.Tuple, 0, func(s *flowtable.Session) { s.Packets++ })
 					} else {
-						sd.Touch(f.Tuple, 0, func(s *flowtable.Session) { s.Packets++ })
+						s := local.Lookup(f.Tuple, 0)
+						if s == nil {
+							s = local.Create(f.Tuple, 0)
+						}
+						s.Packets++
 					}
 				}
 			}(g)

@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"albatross/internal/stats"
 )
@@ -94,12 +97,22 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(Config) *Result
+	// Volatile marks drivers that measure real wall-clock time (host
+	// microbenchmarks with time.Now or OS goroutines): their printed tables
+	// vary run to run, so the determinism contract — identical output for
+	// identical (seed, scale) — applies only to non-volatile experiments.
+	Volatile bool
 }
 
 var registry []Experiment
 
 func register(id, title string, run func(Config) *Result) {
 	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// registerVolatile registers a wall-clock-measuring driver.
+func registerVolatile(id, title string, run func(Config) *Result) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run, Volatile: true})
 }
 
 // Experiments returns all registered experiments sorted by ID.
@@ -117,4 +130,50 @@ func Find(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
+}
+
+// RunRecord pairs an experiment with its result and wall-clock cost.
+type RunRecord struct {
+	Exp    Experiment
+	Result *Result
+	Wall   time.Duration
+}
+
+// RunAll executes exps across up to `parallelism` worker goroutines and
+// returns records in the order the experiments were given, so a caller
+// printing Result strings in slice order emits byte-identical output for
+// any parallelism (volatile experiments excepted — they time the host).
+//
+// Determinism contract: each driver builds its own Engine and seeded Rand
+// from cfg and shares nothing mutable, so experiments are independent and
+// safe to run concurrently. Parallelism lives only here in the harness;
+// a single engine is never driven from more than one goroutine.
+func RunAll(exps []Experiment, cfg Config, parallelism int) []RunRecord {
+	recs := make([]RunRecord, len(exps))
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism > len(exps) {
+		parallelism = len(exps)
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(exps) {
+					return
+				}
+				start := time.Now()
+				r := exps[i].Run(cfg)
+				recs[i] = RunRecord{Exp: exps[i], Result: r, Wall: time.Since(start)}
+			}
+		}()
+	}
+	wg.Wait()
+	return recs
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"albatross/internal/cachesim"
+	"albatross/internal/flowtable"
 	"albatross/internal/rss"
 	"albatross/internal/service"
 	"albatross/internal/sim"
@@ -28,7 +29,11 @@ func perfProbe(cfg Config, nCores int, plbMode bool, probes int) (nsPerPkt float
 	sf := workload.ServiceFlows(wf, 0)
 
 	cache := cachesim.New(cachesim.Config{SizeBytes: cacheB, Ways: 16, LineBytes: 64})
-	svc, err := service.New(service.Config{Type: service.VPCInternet, Cache: cache})
+	svc, err := service.New(service.Config{
+		Type:  service.VPCInternet,
+		Cache: cache,
+		Addrs: flowtable.NewAddrSpace(),
+	})
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,9 @@
+//go:build race
+
+package eval
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Volatile wall-clock experiments assert on relative timings that
+// the detector's per-access instrumentation distorts beyond their
+// tolerances, so their tests skip under -race.
+const raceEnabled = true

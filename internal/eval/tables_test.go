@@ -98,10 +98,23 @@ func TestFig16(t *testing.T) { t.Log("\n" + runQuick(t, "fig16").String()) }
 func TestFig17(t *testing.T) { t.Log("\n" + runQuick(t, "fig17").String()) }
 func TestFig7(t *testing.T)  { t.Log("\n" + runQuick(t, "fig7").String()) }
 
-func TestMemFreq(t *testing.T)  { t.Log("\n" + runQuick(t, "memfreq").String()) }
-func TestMeta(t *testing.T)     { t.Log("\n" + runQuick(t, "meta").String()) }
-func TestStateful(t *testing.T) { t.Log("\n" + runQuick(t, "stateful").String()) }
-func TestGopMem(t *testing.T)   { t.Log("\n" + runQuick(t, "gopmem").String()) }
+func TestMemFreq(t *testing.T) { t.Log("\n" + runQuick(t, "memfreq").String()) }
+
+func TestMeta(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock timing assertions are unreliable under the race detector")
+	}
+	t.Log("\n" + runQuick(t, "meta").String())
+}
+
+func TestStateful(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock timing assertions are unreliable under the race detector")
+	}
+	t.Log("\n" + runQuick(t, "stateful").String())
+}
+
+func TestGopMem(t *testing.T) { t.Log("\n" + runQuick(t, "gopmem").String()) }
 
 func TestSplit(t *testing.T)      { t.Log("\n" + runQuick(t, "split").String()) }
 func TestPriority(t *testing.T)   { t.Log("\n" + runQuick(t, "priority").String()) }

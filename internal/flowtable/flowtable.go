@@ -44,29 +44,50 @@ type Table struct {
 // cache lines in the model.
 const addrStride = 1 << 40
 
-var addrBases struct {
-	sync.Mutex
+// AddrSpace hands out non-overlapping synthetic address bases. Every
+// deterministic simulation context (a core.Node, one experiment) should own
+// its own space: bases then depend only on the context's creation order,
+// never on what else ran earlier in the process or concurrently on other
+// goroutines. The zero value is ready to use.
+type AddrSpace struct {
+	mu   sync.Mutex
 	next uint64
 }
 
-func nextAddrBase() uint64 {
-	addrBases.Lock()
-	defer addrBases.Unlock()
-	addrBases.next++
-	return addrBases.next * addrStride
+// NewAddrSpace returns a fresh address space starting at the first stride.
+func NewAddrSpace() *AddrSpace { return &AddrSpace{} }
+
+func (a *AddrSpace) nextBase() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.next++
+	return a.next * addrStride
 }
 
+// defaultAddrSpace backs the convenience constructors for standalone use;
+// reproducible experiments must pass an explicit space instead.
+var defaultAddrSpace AddrSpace
+
 // NewTable creates an exact-match table whose entries model entrySize bytes
-// of memory each.
+// of memory each, drawing its address base from the process-global space.
 func NewTable(name string, entrySize int) *Table {
+	return NewTableIn(nil, name, entrySize)
+}
+
+// NewTableIn is NewTable drawing from the given address space (nil falls
+// back to the process-global one).
+func NewTableIn(space *AddrSpace, name string, entrySize int) *Table {
 	if entrySize <= 0 {
 		entrySize = 64
+	}
+	if space == nil {
+		space = &defaultAddrSpace
 	}
 	return &Table{
 		name:      name,
 		entrySize: entrySize,
 		m:         make(map[packet.FiveTuple]*Entry),
-		addrBase:  nextAddrBase(),
+		addrBase:  space.nextBase(),
 	}
 }
 
@@ -164,11 +185,20 @@ type SessionTable struct {
 // NewSessionTable creates a session table with the given capacity and idle
 // timeout. capacity <= 0 means unbounded.
 func NewSessionTable(capacity int, idle sim.Duration) *SessionTable {
+	return NewSessionTableIn(nil, capacity, idle)
+}
+
+// NewSessionTableIn is NewSessionTable drawing its address base from the
+// given address space (nil falls back to the process-global one).
+func NewSessionTableIn(space *AddrSpace, capacity int, idle sim.Duration) *SessionTable {
+	if space == nil {
+		space = &defaultAddrSpace
+	}
 	return &SessionTable{
 		m:        make(map[packet.FiveTuple]*Session),
 		capacity: capacity,
 		idle:     idle,
-		addrBase: nextAddrBase(),
+		addrBase: space.nextBase(),
 	}
 }
 
@@ -212,7 +242,10 @@ func (st *SessionTable) Create(key packet.FiveTuple, now sim.Time) *Session {
 func (st *SessionTable) evictOldest() {
 	var oldest *Session
 	for _, s := range st.m {
-		if oldest == nil || s.LastActive < oldest.LastActive {
+		// Break LastActive ties by insertion order (Addr is monotone in
+		// creation) so eviction never depends on map iteration order.
+		if oldest == nil || s.LastActive < oldest.LastActive ||
+			(s.LastActive == oldest.LastActive && s.Addr < oldest.Addr) {
 			oldest = s
 		}
 	}

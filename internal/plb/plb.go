@@ -124,11 +124,32 @@ type bufSlot struct {
 // ordQueue is one order-preserving queue: FIFO + BUF + BITMAP. The BITMAP
 // of the paper (valid bit + PSN per slot) is folded into bufSlot's valid/psn
 // fields; hardware splits them only to keep the comparison memory tiny.
+//
+// Each queue owns at most one pending engine timer. Head deadlines are
+// monotone (FIFO enqueue times, monotone head pointer), so a pending timer
+// is never cancelled: it either fires on the head's deadline or fires early
+// for an already-advanced head, in which case drain re-arms. timerAt records
+// the armed deadline so Dispatch can skip redundant re-arms entirely.
 type ordQueue struct {
 	head, tail uint16 // free-running PSN pointers; in-flight = tail-head
 	info       []reorderInfo
 	buf        []bufSlot
-	timer      *sim.Timer
+	armed      bool
+	timerAt    sim.Time
+	ref        *queueRef // boxed once at New for allocation-free scheduling
+}
+
+// queueRef is the engine-callback argument identifying one queue.
+type queueRef struct {
+	p  *PLB
+	qi uint8
+}
+
+// queueTimerFire is the engine callback for a queue's head timeout.
+func queueTimerFire(arg any) {
+	r := arg.(*queueRef)
+	r.p.queues[r.qi].armed = false
+	r.p.drain(r.qi)
 }
 
 // PLB is one GW pod's packet-level load balancing unit.
@@ -138,6 +159,8 @@ type PLB struct {
 	emit   func(Emission)
 	queues []ordQueue
 	mask   uint16
+	qmask  uint32 // len(queues)-1 when a power of two, else 0
+	qpow2  bool
 	rr     int // round-robin core cursor
 	stats  Stats
 	// headWait records how long FIFO heads waited before release; feeds the
@@ -187,11 +210,16 @@ func New(engine *sim.Engine, cfg Config, emit func(Emission)) (*PLB, error) {
 		emit:     emit,
 		queues:   make([]ordQueue, cfg.NumOrderQueues),
 		mask:     uint16(cfg.QueueDepth - 1),
+		qpow2:    cfg.NumOrderQueues&(cfg.NumOrderQueues-1) == 0,
 		headWait: &waitAgg{},
+	}
+	if p.qpow2 {
+		p.qmask = uint32(cfg.NumOrderQueues - 1)
 	}
 	for i := range p.queues {
 		p.queues[i].info = make([]reorderInfo, cfg.QueueDepth)
 		p.queues[i].buf = make([]bufSlot, cfg.QueueDepth)
+		p.queues[i].ref = &queueRef{p: p, qi: uint8(i)}
 	}
 	return p, nil
 }
@@ -213,7 +241,12 @@ func (p *PLB) InFlight(q int) int {
 func (p *PLB) windowBits() int { return bits.TrailingZeros16(p.mask + 1) }
 
 // OrdQueueFor returns the order queue index for a flow hash (get_ordq_idx).
+// Power-of-two queue counts (the common case, and what hardware uses) take
+// the division-free mask path; other counts keep the exact `%` mapping.
 func (p *PLB) OrdQueueFor(flowHash uint32) uint8 {
+	if p.qpow2 {
+		return uint8(flowHash & p.qmask)
+	}
 	return uint8(flowHash % uint32(len(p.queues)))
 }
 
@@ -239,7 +272,10 @@ func (p *PLB) Dispatch(flowHash uint32) (core int, meta packet.Meta, ok bool) {
 	q.buf[idx].dropped = false
 
 	core = p.rr
-	p.rr = (p.rr + 1) % p.cfg.NumCores
+	p.rr++
+	if p.rr >= p.cfg.NumCores {
+		p.rr = 0
+	}
 	p.stats.Dispatched++
 
 	meta = packet.Meta{
@@ -248,8 +284,11 @@ func (p *PLB) Dispatch(flowHash uint32) (core int, meta packet.Meta, ok bool) {
 		PodID:     p.cfg.PodID,
 		IngressNS: int64(now),
 	}
-	// The first packet of an idle queue arms the head timer.
-	p.armTimer(qi)
+	// The first packet of an idle queue arms the head timer; a non-empty
+	// queue already has one pending (its head entry did not change).
+	if !q.armed {
+		p.armTimer(qi)
+	}
 	return core, meta, true
 }
 
@@ -371,32 +410,29 @@ func (p *PLB) drain(qi uint8) {
 			return
 		}
 	}
-	// Queue drained: cancel any pending timer.
-	if q.timer != nil {
-		q.timer.Stop()
-		q.timer = nil
-	}
+	// Queue drained: any still-pending timer fires as a harmless no-op on
+	// the empty queue, so nothing to cancel.
 }
 
-// armTimer schedules (or reschedules) the head-timeout event for queue qi.
+// armTimer schedules the head-timeout event for queue qi. Head deadlines
+// are monotone, so an already-armed timer (necessarily at an earlier or
+// equal deadline) is kept: it fires, finds the head not yet expired, and
+// this function re-arms at the true deadline. Timers are therefore never
+// cancelled and Dispatch never reschedules one per packet.
 func (p *PLB) armTimer(qi uint8) {
 	q := &p.queues[qi]
-	if q.head == q.tail {
+	if q.head == q.tail || q.armed {
 		return
 	}
 	idx := q.head & p.mask
 	deadline := q.info[idx].enq.Add(p.cfg.Timeout)
-	if q.timer != nil {
-		q.timer.Stop()
-	}
 	now := p.engine.Now()
 	if deadline < now {
 		deadline = now
 	}
-	q.timer = p.engine.At(deadline, func() {
-		q.timer = nil
-		p.drain(qi)
-	})
+	q.armed = true
+	q.timerAt = deadline
+	p.engine.AtArg(deadline, queueTimerFire, q.ref)
 }
 
 func (p *PLB) noteHeadWait(d sim.Duration) {

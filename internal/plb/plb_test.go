@@ -492,3 +492,85 @@ func BenchmarkDispatchReturn(b *testing.B) {
 		}
 	}
 }
+
+// The dispatch/return steady state must not allocate: order-queue timers
+// ride pooled engine events through boxed queueRefs, and the round-robin
+// cursor and queue selection are arithmetic only.
+func TestDispatchReturnZeroAlloc(t *testing.T) {
+	e := sim.NewEngine()
+	p, err := New(e, Config{NumOrderQueues: 4, QueueDepth: 4096, NumCores: 44}, func(Emission) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the engine's event pool and the emission path.
+	for i := 0; i < 256; i++ {
+		if _, m, ok := p.Dispatch(uint32(i)); ok {
+			p.Return(nil, m)
+		}
+	}
+	e.Run()
+	i := uint32(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		_, m, ok := p.Dispatch(i)
+		if !ok {
+			t.Fatal("dispatch refused in steady state")
+		}
+		p.Return(nil, m)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("Dispatch+Return allocates %v per op, want 0", allocs)
+	}
+}
+
+// Dispatch must not re-arm the head timer per packet: with an armed timer
+// and an unchanged head entry, scheduling stays untouched until the timer
+// fires or the queue drains.
+func TestDispatchDoesNotRearmTimerPerPacket(t *testing.T) {
+	h := newHarness(t, cfg1q(4))
+	before := h.e.Pending()
+	metas := make([]packet.Meta, 0, 8)
+	for i := 0; i < 8; i++ {
+		_, m, ok := h.p.Dispatch(7)
+		if !ok {
+			t.Fatal("dispatch refused")
+		}
+		metas = append(metas, m)
+	}
+	// Exactly one head timer exists regardless of queue length.
+	if got := h.e.Pending() - before; got != 1 {
+		t.Fatalf("pending timers after 8 dispatches = %d, want 1", got)
+	}
+	for _, m := range metas {
+		h.p.Return(nil, m)
+	}
+	if len(h.out) != 8 {
+		t.Fatalf("emitted %d, want 8", len(h.out))
+	}
+	for i, em := range h.out {
+		if !em.InOrder {
+			t.Fatalf("emission %d not in order", i)
+		}
+	}
+}
+
+// A non-power-of-two queue count keeps the exact modulo mapping; a
+// power-of-two count takes the mask path with the identical result.
+func TestOrdQueueForMaskMatchesModulo(t *testing.T) {
+	e := sim.NewEngine()
+	for _, nq := range []int{1, 2, 3, 4, 5, 7, 8} {
+		p, err := New(e, Config{NumOrderQueues: nq, QueueDepth: 64, NumCores: 4}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := sim.NewRand(uint64(nq))
+		for i := 0; i < 2000; i++ {
+			h := r.Uint32()
+			want := uint8(h % uint32(nq))
+			if got := p.OrdQueueFor(h); got != want {
+				t.Fatalf("nq=%d hash=%#x: OrdQueueFor=%d want %d", nq, h, got, want)
+			}
+		}
+	}
+}

@@ -145,6 +145,11 @@ type Config struct {
 	MemoryMult float64
 	// ComputeMult scales instruction-path time. 0 means 1.0.
 	ComputeMult float64
+	// Addrs allocates synthetic table address bases. nil uses the
+	// process-global space; deterministic experiments should pass a
+	// per-context space so table addresses don't depend on what else the
+	// process has created.
+	Addrs *flowtable.AddrSpace
 }
 
 // Service is one gateway service instance (the dataplane of one GW pod
@@ -187,7 +192,7 @@ func New(cfg Config) (*Service, error) {
 		denied: make(map[packet.FiveTuple]bool),
 	}
 	for _, ts := range prof.tables {
-		s.tables = append(s.tables, flowtable.NewTable(ts.name, ts.entrySize))
+		s.tables = append(s.tables, flowtable.NewTableIn(cfg.Addrs, ts.name, ts.entrySize))
 	}
 	// A dedicated synthetic address region for LPM trie nodes.
 	s.lpmBase = uint64(0x7f) << 48

@@ -8,12 +8,21 @@
 // The engine is intentionally single-goroutine: parallelism in the modelled
 // system (CPU cores, pipeline stages) is expressed as concurrent *virtual*
 // activities, not OS concurrency, which keeps experiments reproducible.
+// Harness-level parallelism (internal/eval.RunAll) runs many engines side
+// by side, one per experiment, never sharing one engine across goroutines.
+//
+// The scheduling hot path is allocation-free in steady state: events are
+// recycled through a free list, the heap is a flat 4-ary array, timers are
+// value handles validated by generation counters, and cancellation is lazy
+// (dead events are dropped on pop, compacted only when they dominate the
+// heap). Use AtArg/AfterArg with a non-capturing func and an arg to avoid
+// the caller-side closure allocation that At/After require.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 )
 
@@ -56,53 +65,30 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: after firing or
+// compaction they return to the engine's free list and are reused, with gen
+// bumped so stale Timer handles cannot touch the reincarnation.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among equal timestamps
-	fn   func()
-	dead bool // cancelled
-	idx  int  // heap index, -1 once popped
-}
-
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	fn   func(any)
+	arg  any
+	gen  uint32
+	dead bool // cancelled; dropped lazily on pop or compaction
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now  Time
+	seq  uint64
+	heap []*event // flat 4-ary heap ordered by (at, seq)
+	free []*event // recycled events
+	live int      // heap entries not marked dead
+	dead int      // heap entries marked dead (lazy cancellation debt)
+
 	stopped bool
-	// Executed counts events processed; useful to detect livelock in tests.
+	// executed counts events processed; useful to detect livelock in tests.
 	executed uint64
 }
 
@@ -117,51 +103,208 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events processed so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Timer is a handle to a scheduled event; it can be cancelled.
+// Timer is a value handle to a scheduled event; it can be cancelled. The
+// zero Timer is inert: Stop reports false. Handles stay valid after the
+// event fires (Stop just reports false) because the generation counter
+// detects the pooled event's reuse.
 type Timer struct {
-	ev *event
+	e   *Engine
+	ev  *event
+	gen uint32
 }
 
-// Stop cancels the timer. It reports whether the event had not yet fired.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead || t.ev.idx == -1 {
+// Stop cancels the timer in O(1) by marking the event dead; the heap drops
+// it lazily. It reports whether the event had not yet fired.
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
+	t.ev.fn = nil
+	t.ev.arg = nil // free the reference now; the shell stays queued
+	t.e.live--
+	t.e.dead++
+	t.e.maybeCompact()
 	return true
 }
 
+// Active reports whether the timer is scheduled and not yet fired or
+// stopped.
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
+}
+
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a popped event to the free list. Bumping gen invalidates
+// outstanding Timer handles before the event is reused.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.arg = nil
+	ev.dead = false
+	e.free = append(e.free, ev)
+}
+
+// callNullary adapts a plain func() to the engine's func(any) calling
+// convention; the closure itself is the arg, so no extra wrapper allocates.
+func callNullary(arg any) { arg.(func())() }
+
 // At schedules fn at absolute virtual time at. Scheduling in the past is an
 // error in the model; it panics to surface bugs early.
-func (e *Engine) At(at Time, fn func()) *Timer {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
-	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+func (e *Engine) At(at Time, fn func()) Timer {
+	return e.AtArg(at, callNullary, fn)
 }
 
 // After schedules fn d nanoseconds from now. Negative d panics.
-func (e *Engine) After(d Duration, fn func()) *Timer {
+func (e *Engine) After(d Duration, fn func()) Timer {
+	return e.AfterArg(d, callNullary, fn)
+}
+
+// AtArg schedules fn(arg) at absolute virtual time at. With a non-capturing
+// fn this amortizes to zero allocations: the event comes from the free list
+// and the Timer handle is a value.
+func (e *Engine) AtArg(at Time, fn func(any), arg any) Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.arg = arg
+	e.seq++
+	e.heap = append(e.heap, ev)
+	e.siftUp(len(e.heap) - 1)
+	e.live++
+	return Timer{e: e, ev: ev, gen: ev.gen}
+}
+
+// AfterArg schedules fn(arg) d nanoseconds from now. Negative d panics.
+func (e *Engine) AfterArg(d Duration, fn func(any), arg any) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return e.At(e.now.Add(d), fn)
+	return e.AtArg(e.now.Add(d), fn, arg)
+}
+
+// less orders heap entries by (at, seq).
+func (e *Engine) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.less(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	ev := h[i]
+	for {
+		c := i<<2 + 1 // first of up to four children
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min := c
+		for j := c + 1; j < end; j++ {
+			if e.less(h[j], h[min]) {
+				min = j
+			}
+		}
+		if !e.less(h[min], ev) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = ev
+}
+
+// pop removes and returns the minimum event (live or dead).
+func (e *Engine) pop() *event {
+	h := e.heap
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	e.heap = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	return ev
+}
+
+// maybeCompact sweeps dead events out of the heap once they outnumber live
+// ones (and there are enough to be worth a pass), bounding both memory and
+// the dead-skip work on pop.
+func (e *Engine) maybeCompact() {
+	if e.dead <= 64 || e.dead <= e.live {
+		return
+	}
+	w := 0
+	for _, ev := range e.heap {
+		if ev.dead {
+			e.recycle(ev)
+			continue
+		}
+		e.heap[w] = ev
+		w++
+	}
+	for i := w; i < len(e.heap); i++ {
+		e.heap[i] = nil
+	}
+	e.heap = e.heap[:w]
+	e.dead = 0
+	// Rebuild heap order bottom-up.
+	for i := (w - 2) >> 2; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }
 
 // Step executes the next pending event, advancing the clock. It reports
 // whether an event was executed.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for len(e.heap) > 0 {
+		ev := e.pop()
 		if ev.dead {
+			e.dead--
+			e.recycle(ev)
 			continue
 		}
+		e.live--
 		e.now = ev.at
 		e.executed++
-		ev.fn()
+		fn, arg := ev.fn, ev.arg
+		// Recycle before the callback so fn can reuse the slot when it
+		// schedules follow-up work.
+		e.recycle(ev)
+		fn(arg)
 		return true
 	}
 	return false
@@ -179,13 +322,13 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.events) == 0 {
+		if len(e.heap) == 0 {
 			break
 		}
-		// Peek cheapest without popping dead events permanently out of order.
-		next := e.events[0]
+		next := e.heap[0]
 		if next.dead {
-			heap.Pop(&e.events)
+			e.dead--
+			e.recycle(e.pop())
 			continue
 		}
 		if next.at > deadline {
@@ -204,16 +347,9 @@ func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 // Stop halts Run/RunUntil after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending returns the number of live queued events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of live queued events. It is O(1): the engine
+// maintains the count across push/pop/cancel.
+func (e *Engine) Pending() int { return e.live }
 
 // Rand is a deterministic pseudo-random source for simulation components.
 // It is a 64-bit SplitMix64/xorshift* generator: tiny, fast, and stable
@@ -256,11 +392,17 @@ func (r *Rand) Uint64() uint64 {
 func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
+//
+// The draw uses Lemire's multiply-shift reduction — the high 64 bits of a
+// 128-bit product — instead of `%`, keeping the hot path division-free.
+// Bias is at most n/2^64, far below the old modulo reduction's n-dependent
+// bias and invisible at any simulated scale.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	hi, _ := bits.Mul64(r.Uint64(), uint64(n))
+	return int(hi)
 }
 
 // Float64 returns a uniform float64 in [0, 1).

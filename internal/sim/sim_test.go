@@ -346,6 +346,147 @@ func TestEngineOrderProperty(t *testing.T) {
 	}
 }
 
+func TestTimerActive(t *testing.T) {
+	e := NewEngine()
+	var zero Timer
+	if zero.Active() {
+		t.Fatal("zero Timer reports active")
+	}
+	tm := e.At(10, func() {})
+	if !tm.Active() {
+		t.Fatal("pending timer not active")
+	}
+	tm.Stop()
+	if tm.Active() {
+		t.Fatal("stopped timer still active")
+	}
+	tm2 := e.At(20, func() {})
+	e.Run()
+	if tm2.Active() {
+		t.Fatal("fired timer still active")
+	}
+}
+
+// Pending must stay exact through the lazy-cancellation path: cancelled
+// events linger in the heap until popped or compacted, but the live counter
+// already excludes them.
+func TestPendingWithLazyCancellation(t *testing.T) {
+	e := NewEngine()
+	timers := make([]Timer, 1000)
+	for i := range timers {
+		timers[i] = e.At(Time(1000+i), func() {})
+	}
+	if e.Pending() != 1000 {
+		t.Fatalf("pending = %d, want 1000", e.Pending())
+	}
+	for i := 0; i < 600; i++ {
+		timers[i].Stop()
+	}
+	if e.Pending() != 400 {
+		t.Fatalf("pending = %d after cancelling 600, want 400", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after drain, want 0", e.Pending())
+	}
+}
+
+// Cancelling everything must compact rather than grow the heap without
+// bound, and the engine must keep working afterwards.
+func TestCancellationStormCompacts(t *testing.T) {
+	e := NewEngine()
+	for round := 0; round < 100; round++ {
+		timers := make([]Timer, 100)
+		for i := range timers {
+			timers[i] = e.At(Time(1_000_000+round), func() {})
+		}
+		for _, tm := range timers {
+			if !tm.Stop() {
+				t.Fatal("Stop on pending timer returned false")
+			}
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+	n := 0
+	e.At(2_000_000, func() { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("event after storm did not fire")
+	}
+}
+
+// The scheduling hot path must be allocation-free in steady state: events
+// come from the engine pool, timers are value handles, and AfterArg carries
+// the callback argument without a closure.
+func TestAfterArgZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func(any) {}
+	// Warm the event pool and heap capacity.
+	for i := 0; i < 64; i++ {
+		e.AfterArg(Duration(i), fn, nil)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.AfterArg(10, fn, nil)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("AfterArg+Step allocates %v per op, want 0", allocs)
+	}
+}
+
+// After with a hoisted (not per-call) closure is also allocation-free: the
+// func value converts to the event argument without boxing.
+func TestAfterZeroAllocWithHoistedFn(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(Duration(i), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(10, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("After+Step allocates %v per op, want 0", allocs)
+	}
+}
+
+// Schedule/cancel churn (the PLB timer pattern) must also be free of
+// steady-state allocations even though cancelled events ride the heap.
+func TestTimerChurnZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func(any) {}
+	for i := 0; i < 256; i++ {
+		e.AfterArg(Duration(i), fn, nil)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := e.AfterArg(1000, fn, nil)
+		tm.Stop()
+		e.AfterArg(10, fn, nil)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/cancel churn allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRand(21)
+	for _, n := range []int{1, 2, 3, 7, 10, 1000, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -1,8 +1,21 @@
 GO ?= go
 
-.PHONY: all build test vet race bench clean
+.PHONY: all build test vet race bench fmt-check ci clean
 
 all: build test
+
+# Fails if any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The full gate: build, vet, formatting, unit tests, then the race-checked
+# packages. Runs staticcheck too when it is installed.
+ci: build vet fmt-check test race
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+	@echo "ci: all checks passed"
 
 build:
 	$(GO) build ./...

@@ -21,7 +21,7 @@
 //
 // Quick start:
 //
-//	node, _ := albatross.NewNode(albatross.NodeConfig{Seed: 1})
+//	node, _ := albatross.New(albatross.WithSeed(1))
 //	flows := albatross.GenerateFlows(500000, 100000, 1)
 //	pod, _ := node.AddPod(albatross.PodConfig{
 //		Spec:  albatross.PodSpec{Name: "gw0", Service: albatross.VPCInternet, DataCores: 44, CtrlCores: 2},
@@ -98,6 +98,9 @@ type (
 	SNAT = service.SNAT
 )
 
+// IPv4Addr is a dotted-quad address (used by NewSNAT's public IP pool).
+type IPv4Addr = packet.IPv4Addr
+
 // ACL actions.
 const (
 	ACLPermit = service.ACLPermit
@@ -158,6 +161,13 @@ type (
 	BGPProxy = bgp.Proxy
 	// BGPPrefix is an IPv4 NLRI prefix.
 	BGPPrefix = bgp.Prefix
+	// UplinkSession is the deterministic virtual-time model of a
+	// gateway↔switch BGP session guarded by BFD (fault-injection runs).
+	UplinkSession = bgp.SimSession
+	// UplinkConfig parameterizes it.
+	UplinkConfig = bgp.SimSessionConfig
+	// UplinkStats are its counters (flaps, detections, downtime).
+	UplinkStats = bgp.SimSessionStats
 )
 
 // Experiment types.
@@ -214,7 +224,7 @@ func DefaultLimiterConfig() LimiterConfig { return gop.DefaultConfig() }
 func NewACL(defaultAction service.ACLAction) *ACL { return service.NewACL(defaultAction) }
 
 // NewSNAT creates a source-NAT engine over a public IP pool.
-func NewSNAT(publicIPs []packet.IPv4Addr, portLo, portHi uint16, maxSessions int, idle Duration) (*SNAT, error) {
+func NewSNAT(publicIPs []IPv4Addr, portLo, portHi uint16, maxSessions int, idle Duration) (*SNAT, error) {
 	return service.NewSNAT(publicIPs, portLo, portHi, maxSessions, idle)
 }
 

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"albatross"
+)
+
+// faultFlag collects repeated -fault specs into a FaultPlan.
+//
+// Spec grammar (comma-separated key=value after "kind@at"):
+//
+//	corestall@20ms,core=2,factor=100,dur=5ms
+//	corefail@20ms,core=2,dur=10ms
+//	podcrash@30ms,pod=0,restart=20ms
+//	poddrain@30ms,pod=0,restart=20ms
+//	reorderstress@10ms,queue=0,dur=5ms,hold=1,clamp=0
+//	rxloss@10ms,core=1,prob=0.5,dur=5ms
+//	bgpflap@100ms,dur=500ms
+//
+// Times use Go duration syntax and are virtual (relative to node start).
+type faultFlag struct {
+	specs []string
+	plan  albatross.FaultPlan
+}
+
+func (f *faultFlag) String() string { return strings.Join(f.specs, " ") }
+
+func (f *faultFlag) Set(spec string) error {
+	kind, at, kv, err := splitFaultSpec(spec)
+	if err != nil {
+		return err
+	}
+	pod := kv.intOr("pod", 0)
+	switch kind {
+	case "corestall":
+		f.plan.CoreStall(at, pod, kv.intOr("core", 0), kv.floatOr("factor", 10), kv.durOr("dur", 5*albatross.Millisecond))
+	case "corefail":
+		f.plan.CoreFail(at, pod, kv.intOr("core", 0), kv.durOr("dur", 10*albatross.Millisecond))
+	case "podcrash":
+		f.plan.PodCrash(at, pod, kv.durOr("restart", 0))
+	case "poddrain":
+		f.plan.PodDrain(at, pod, kv.durOr("restart", 0))
+	case "reorderstress":
+		f.plan.ReorderStress(at, pod, kv.intOr("queue", 0), kv.durOr("dur", 5*albatross.Millisecond),
+			kv.intOr("hold", 1) != 0, kv.intOr("clamp", 0))
+	case "rxloss":
+		f.plan.RxLoss(at, pod, kv.intOr("core", 0), kv.floatOr("prob", 0.5), kv.durOr("dur", 5*albatross.Millisecond))
+	case "bgpflap":
+		f.plan.BGPFlap(at, kv.durOr("dur", 500*albatross.Millisecond))
+	default:
+		return fmt.Errorf("unknown fault kind %q (corestall|corefail|podcrash|poddrain|reorderstress|rxloss|bgpflap)", kind)
+	}
+	if err := f.plan.Validate(); err != nil {
+		f.plan.Faults = f.plan.Faults[:len(f.plan.Faults)-1]
+		return fmt.Errorf("fault %q: %v", spec, err)
+	}
+	f.specs = append(f.specs, spec)
+	return nil
+}
+
+type faultKVs map[string]string
+
+func splitFaultSpec(spec string) (kind string, at albatross.Duration, kv faultKVs, err error) {
+	parts := strings.Split(spec, ",")
+	head := strings.SplitN(parts[0], "@", 2)
+	if len(head) != 2 {
+		return "", 0, nil, fmt.Errorf("fault %q: want kind@time[,k=v...]", spec)
+	}
+	kind = strings.ToLower(head[0])
+	d, err := time.ParseDuration(head[1])
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("fault %q: bad time: %v", spec, err)
+	}
+	kv = faultKVs{}
+	for _, p := range parts[1:] {
+		eq := strings.SplitN(p, "=", 2)
+		if len(eq) != 2 || eq[0] == "" {
+			return "", 0, nil, fmt.Errorf("fault %q: bad key=value %q", spec, p)
+		}
+		kv[strings.ToLower(eq[0])] = eq[1]
+	}
+	return kind, albatross.Duration(d.Nanoseconds()), kv, nil
+}
+
+func (kv faultKVs) intOr(key string, def int) int {
+	if v, ok := kv[key]; ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func (kv faultKVs) floatOr(key string, def float64) float64 {
+	if v, ok := kv[key]; ok {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+func (kv faultKVs) durOr(key string, def albatross.Duration) albatross.Duration {
+	if v, ok := kv[key]; ok {
+		if d, err := time.ParseDuration(v); err == nil {
+			return albatross.Duration(d.Nanoseconds())
+		}
+	}
+	return def
+}
+
+// printFaultSummary reports the fired-fault log and every degradation
+// counter the fault layer maintains.
+func printFaultSummary(node *albatross.Node, pod *albatross.PodRuntime) {
+	fmt.Println("  faults:")
+	for _, e := range node.FaultLog() {
+		fmt.Printf("    %s\n", e)
+	}
+	fmt.Printf("  degradation: faultlost=%d rxlost=%d redirected=%d crashdrops=%d restarts=%d fallbacks=%d\n",
+		pod.FaultLost, pod.RxLost, pod.Redirected, pod.CrashDrops, pod.Restarts, pod.Fallbacks)
+	if up := node.Uplink(); up != nil {
+		st := up.Stats()
+		fmt.Printf("  uplink:      flaps=%d detections=%d absorbed=%d blackholed=%d proxied=%d detect=%.1fms\n",
+			st.Flaps, st.Detections, st.Absorbed, node.Blackholed, node.Proxied,
+			float64(st.LastDetectNS)/1e6)
+	}
+}

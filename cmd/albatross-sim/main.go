@@ -40,7 +40,10 @@ func main() {
 		denied   = flag.Float64("acl-denied", 0, "fraction of flows ACL-denied (0..1)")
 		report   = flag.Bool("report", false, "print the full node report at the end")
 		pcapOut  = flag.String("pcap", "", "write a sample of generated traffic (first 1000 packets) to this pcap file")
+		autoFB   = flag.Bool("autofallback", false, "arm the reorder-timeout watchdog that falls back PLB->RSS")
 	)
+	var ff faultFlag
+	flag.Var(&ff, "fault", "inject a fault, repeatable: kind@time[,k=v...] e.g. corefail@20ms,core=2,dur=10ms (see cmd/albatross-sim/faults.go)")
 	flag.Parse()
 
 	svc, ok := serviceNames[strings.ToLower(*svcName)]
@@ -53,12 +56,14 @@ func main() {
 		mode = albatross.ModeRSS
 	}
 
-	cfg := albatross.NodeConfig{Seed: *seed}
+	opts := []albatross.Option{albatross.WithSeed(*seed)}
 	if *limiter {
-		lc := albatross.DefaultLimiterConfig()
-		cfg.Limiter = &lc
+		opts = append(opts, albatross.WithLimiter(albatross.DefaultLimiterConfig()))
 	}
-	node, err := albatross.NewNode(cfg)
+	if len(ff.plan.Faults) > 0 {
+		opts = append(opts, albatross.WithFaultPlan(&ff.plan))
+	}
+	node, err := albatross.New(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -75,6 +80,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *autoFB {
+		pod.EnableAutoFallback(0, 0)
 	}
 
 	sink := pod.Sink()
@@ -126,6 +135,9 @@ func main() {
 		fmt.Printf("  plb         in-order=%d best-effort=%d disorder=%.2e hol=%d timeout=%d dropflag=%d\n",
 			s.EmittedInOrder, s.EmittedBestEffort, s.DisorderRate(),
 			s.HOLEvents, s.TimeoutReleases, s.DropFlagReleases)
+	}
+	if len(ff.plan.Faults) > 0 {
+		printFaultSummary(node, pod)
 	}
 	fmt.Printf("  wall time   %v\n", time.Since(wall).Round(time.Millisecond))
 	if capture != nil {

@@ -72,3 +72,185 @@ func ExampleDefaultLimiterConfig() {
 	fmt.Printf("tenant clamped to ~%.0f%% of offered\n", passFrac*100)
 	// Output: tenant clamped to ~25% of offered
 }
+
+// ExampleNew is the options-form quickstart (mirrors examples/quickstart):
+// New(WithSeed(1)) is equivalent to NewNode(NodeConfig{Seed: 1}).
+func ExampleNew() {
+	node, err := albatross.New(albatross.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	flows := albatross.GenerateFlows(1000, 10, 1)
+	pod, err := node.AddPod(albatross.PodConfig{
+		Spec: albatross.PodSpec{Name: "gw0", Service: albatross.VPCInternet,
+			DataCores: 2, CtrlCores: 1},
+		Flows: albatross.ServiceFlows(flows, 0),
+	})
+	if err != nil {
+		panic(err)
+	}
+	src := &albatross.Source{Flows: flows, Rate: albatross.ConstantRate(100000),
+		Deterministic: true, Sink: pod.Sink()}
+	if err := src.Start(node.Engine); err != nil {
+		panic(err)
+	}
+	node.RunFor(10 * albatross.Millisecond)
+	src.Stop()
+	node.RunFor(albatross.Millisecond)
+	fmt.Printf("delivered %d of %d\n", pod.Tx, pod.Rx)
+	// Output: delivered 1000 of 1000
+}
+
+// ExampleNew_heavyHitter mirrors examples/heavyhitter: one flow past a
+// core's capacity saturates its RSS core but is absorbed under PLB.
+func ExampleNew_heavyHitter() {
+	run := func(mode int) float64 {
+		m := albatross.ModeRSS
+		if mode == 1 {
+			m = albatross.ModePLB
+		}
+		node, err := albatross.New(albatross.WithSeed(1))
+		if err != nil {
+			panic(err)
+		}
+		flows := albatross.GenerateFlows(1000, 10, 1)
+		pod, err := node.AddPod(albatross.PodConfig{
+			Spec: albatross.PodSpec{Name: "gw0", Service: albatross.VPCVPC,
+				DataCores: 2, CtrlCores: 1, Mode: m},
+			Flows: albatross.ServiceFlows(flows, 0),
+		})
+		if err != nil {
+			panic(err)
+		}
+		// One flow at ~3 Mpps: far past one core, within two.
+		src := &albatross.Source{Flows: flows[:1], Rate: albatross.ConstantRate(3e6),
+			Seed: 2, Sink: pod.Sink()}
+		if err := src.Start(node.Engine); err != nil {
+			panic(err)
+		}
+		node.RunFor(20 * albatross.Millisecond)
+		src.Stop()
+		node.RunFor(albatross.Millisecond)
+		return float64(pod.QueueDrops+pod.PLBDrops) / float64(pod.Rx) * 100
+	}
+	rssLoss, plbLoss := run(0), run(1)
+	fmt.Printf("rss loses >10%%: %v, plb loses <0.1%%: %v\n", rssLoss > 10, plbLoss < 0.1)
+	// Output: rss loses >10%: true, plb loses <0.1%: true
+}
+
+// ExampleWithFaultPlan mirrors examples/faultdrill: a scheduled core
+// failure is absorbed by spray-mask eviction with bounded loss.
+func ExampleWithFaultPlan() {
+	plan := (&albatross.FaultPlan{}).
+		CoreFail(5*albatross.Millisecond, 0, 1, 5*albatross.Millisecond)
+	node, err := albatross.New(albatross.WithSeed(7), albatross.WithFaultPlan(plan))
+	if err != nil {
+		panic(err)
+	}
+	flows := albatross.GenerateFlows(1000, 10, 7)
+	pod, err := node.AddPod(albatross.PodConfig{
+		Spec: albatross.PodSpec{Name: "gw0", Service: albatross.VPCVPC,
+			DataCores: 4, CtrlCores: 1, Mode: albatross.ModePLB},
+		Flows: albatross.ServiceFlows(flows, 0),
+	})
+	if err != nil {
+		panic(err)
+	}
+	src := &albatross.Source{Flows: flows, Rate: albatross.ConstantRate(1e6),
+		Seed: 8, Sink: pod.Sink()}
+	if err := src.Start(node.Engine); err != nil {
+		panic(err)
+	}
+	node.RunFor(20 * albatross.Millisecond)
+	src.Stop()
+	node.RunFor(albatross.Millisecond)
+
+	fmt.Printf("faults fired: %d\n", len(node.FaultLog()))
+	fmt.Printf("loss bounded: %v, core restored: %v\n",
+		pod.FaultLost <= 1025, pod.PLB.CoreUp(1))
+	// Output:
+	// faults fired: 1
+	// loss bounded: true, core restored: true
+}
+
+// ExampleNode_EnableUplink mirrors examples/bgpproxy in the virtual-time
+// model: a long uplink flap is detected by BFD, a short one is absorbed.
+func ExampleNode_EnableUplink() {
+	node, err := albatross.New(albatross.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := node.EnableUplink(true); err != nil {
+		panic(err)
+	}
+	if err := node.InjectBGPFlap(400 * albatross.Millisecond); err != nil {
+		panic(err)
+	}
+	node.RunFor(2 * albatross.Second)
+	if err := node.InjectBGPFlap(100 * albatross.Millisecond); err != nil {
+		panic(err)
+	}
+	node.RunFor(albatross.Second)
+	st := node.Uplink().Stats()
+	fmt.Printf("flaps=%d detections=%d absorbed=%d route-up=%v\n",
+		st.Flaps, st.Detections, st.Absorbed, node.Uplink().RouteUp())
+	// Output: flaps=2 detections=1 absorbed=1 route-up=true
+}
+
+// ExamplePodRuntime_InjectProbe mirrors examples/telemetry: Zoonet-style
+// probes decompose a packet's latency by pipeline stage.
+func ExamplePodRuntime_InjectProbe() {
+	node, err := albatross.New(albatross.WithSeed(11))
+	if err != nil {
+		panic(err)
+	}
+	flows := albatross.GenerateFlows(1000, 10, 11)
+	pod, err := node.AddPod(albatross.PodConfig{
+		Spec: albatross.PodSpec{Name: "gw0", Service: albatross.VPCVPC,
+			DataCores: 2, CtrlCores: 1},
+		Flows: albatross.ServiceFlows(flows, 0),
+	})
+	if err != nil {
+		panic(err)
+	}
+	probes := 0
+	pod.InjectProbe(flows[0], func(r albatross.ProbeResult) {
+		if !r.Dropped && r.Total > 0 && r.Total == r.NICIngress+r.QueueWait+r.Service+r.NICEgress {
+			probes++
+		}
+	})
+	node.RunFor(albatross.Millisecond)
+	fmt.Printf("probes with consistent stage breakdown: %d\n", probes)
+	// Output: probes with consistent stage breakdown: 1
+}
+
+// ExampleNode_Close shows the lifecycle contract: Stop drains a pod and
+// frees its capacity for reuse; Close stops everything.
+func ExampleNode_Close() {
+	node, err := albatross.New(albatross.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	flows := albatross.GenerateFlows(100, 10, 1)
+	add := func(name string) *albatross.PodRuntime {
+		p, err := node.AddPod(albatross.PodConfig{
+			Spec: albatross.PodSpec{Name: name, Service: albatross.VPCVPC,
+				DataCores: 2, CtrlCores: 1},
+			Flows: albatross.ServiceFlows(flows, 0),
+		})
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	gw0 := add("gw0")
+	if err := gw0.Stop(); err != nil { // drain, then release cores and queues
+		panic(err)
+	}
+	gw1 := add("gw1") // reuses the freed capacity
+	if err := node.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("gw0=%s gw1=%s\n", gw0.State(), gw1.State())
+	// Output: gw0=stopped gw1=stopped
+}

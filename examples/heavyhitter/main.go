@@ -12,7 +12,7 @@ import (
 )
 
 func run(mode int) (maxUtil float64, lossPct float64, tx uint64) {
-	node, err := albatross.NewNode(albatross.NodeConfig{Seed: 1})
+	node, err := albatross.New(albatross.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}

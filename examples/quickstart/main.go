@@ -13,7 +13,7 @@ import (
 func main() {
 	// An Albatross server with the paper's defaults: dual-NUMA topology,
 	// Tab. 4 NIC latencies, DDR5-4800 memory model, ~100MB L3 per node.
-	node, err := albatross.NewNode(albatross.NodeConfig{Seed: 42})
+	node, err := albatross.New(albatross.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	node, err := albatross.NewNode(albatross.NodeConfig{Seed: 11})
+	node, err := albatross.New(albatross.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}

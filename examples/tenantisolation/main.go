@@ -19,14 +19,14 @@ const (
 )
 
 func run(withLimiter bool) {
-	cfg := albatross.NodeConfig{Seed: 5}
+	opts := []albatross.Option{albatross.WithSeed(5)}
 	if withLimiter {
 		lc := albatross.DefaultLimiterConfig()
 		lc.Stage1Rate = 0.4 * podCapacity
 		lc.Stage2Rate = 0.1 * podCapacity
-		cfg.Limiter = &lc
+		opts = append(opts, albatross.WithLimiter(lc))
 	}
-	node, err := albatross.NewNode(cfg)
+	node, err := albatross.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,8 +14,11 @@ import (
 	"fmt"
 	"math"
 
+	"albatross/internal/bgp"
 	"albatross/internal/cachesim"
 	"albatross/internal/cpu"
+	"albatross/internal/errs"
+	"albatross/internal/faults"
 	"albatross/internal/flowtable"
 	"albatross/internal/gop"
 	"albatross/internal/nicsim"
@@ -42,6 +45,10 @@ type NodeConfig struct {
 	NIC nicsim.LatencyModel
 	// Limiter enables gateway overload protection when non-nil.
 	Limiter *gop.Config
+	// Faults, when non-nil, arms a deterministic fault-injection schedule
+	// against this node (see internal/faults). Fault times are relative to
+	// node creation.
+	Faults *faults.Plan
 }
 
 // Node is one Albatross server.
@@ -57,6 +64,21 @@ type Node struct {
 	// depend only on deployment order within this node, never on what else
 	// the process created, so identical configs replay identically.
 	addrs *flowtable.AddrSpace
+
+	// injector drives NodeConfig.Faults (nil when no plan was armed).
+	injector *faults.Injector
+	// uplink models the node's BGP session to the ToR switch; nil until
+	// EnableUplink or the first BGP fault. uplinkProxy enables the sibling
+	// proxy re-advertisement (make-before-break failover).
+	uplink      *bgp.SimSession
+	uplinkProxy bool
+	closed      bool
+
+	// Blackholed counts packets lost at the switch while the uplink was
+	// down but not yet withdrawn (or withdrawn with no proxy); Proxied
+	// counts packets that arrived via the proxy path during an outage.
+	Blackholed uint64
+	Proxied    uint64
 }
 
 // NewNode creates a node.
@@ -88,6 +110,12 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	if cfg.Limiter != nil {
 		n.Limiter, err = gop.NewLimiter(*cfg.Limiter)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Faults != nil {
+		n.injector, err = faults.NewInjector(n.Engine, n, cfg.Faults)
 		if err != nil {
 			return nil, err
 		}
@@ -176,6 +204,19 @@ type PodRuntime struct {
 	payload *nicsim.PayloadBuffer
 	nextPay uint64
 
+	// Lifecycle (see the state machine in faultops.go). live counts
+	// data-path contexts in flight; redirect receives this pod's traffic
+	// while it is draining or crashed.
+	state    podState
+	live     int
+	redirect *PodRuntime
+
+	// rxLoss models per-core RX DMA loss (InjectRxLoss): while the
+	// engine's time is before rxLossUntil[core], dispatched packets are
+	// lost with probability rxLossProb[core]. nil until first armed.
+	rxLossUntil []sim.Time
+	rxLossProb  []float64
+
 	// ctxFree recycles pktCtx values; cpuDoneFn is onCPUDone bound once so
 	// Enqueue calls do not allocate a method-value closure per packet.
 	ctxFree   []*pktCtx
@@ -207,10 +248,21 @@ type PodRuntime struct {
 	HeaderDrops uint64
 	// Fallbacks counts PLB->RSS mode switches.
 	Fallbacks uint64
+
+	// Fault/degradation counters.
+	FaultLost  uint64 // packets discarded by core failure or pod crash
+	RxLost     uint64 // packets lost to injected RX-path loss
+	Redirected uint64 // packets redirected to the sibling pod
+	CrashDrops uint64 // packets lost while crashed with no sibling
+	Restarts   uint64 // crash restarts + gray upgrades completed
 }
 
-// AddPod places and wires a gateway pod.
+// AddPod places and wires a gateway pod. It is usable any time before
+// Close, including after a PodRuntime.Stop has freed server capacity.
 func (n *Node) AddPod(cfg PodConfig) (*PodRuntime, error) {
+	if n.closed {
+		return nil, fmt.Errorf("core: AddPod on closed node: %w", errs.Closed)
+	}
 	p, err := n.Server.Place(cfg.Spec, n.Engine.Now())
 	if err != nil {
 		return nil, err
@@ -321,6 +373,7 @@ func (pr *PodRuntime) Sink() func(workload.Flow, int) {
 
 // getCtx takes a context from the pool (or allocates the pool's first).
 func (pr *PodRuntime) getCtx() *pktCtx {
+	pr.live++
 	if n := len(pr.ctxFree); n > 0 {
 		c := pr.ctxFree[n-1]
 		pr.ctxFree[n-1] = nil
@@ -332,6 +385,7 @@ func (pr *PodRuntime) getCtx() *pktCtx {
 
 // putCtx recycles a data-path context at the end of a packet's life.
 func (pr *PodRuntime) putCtx(c *pktCtx) {
+	pr.live--
 	*c = pktCtx{}
 	pr.ctxFree = append(pr.ctxFree, c)
 }
@@ -355,6 +409,36 @@ func egressEvent(arg any) {
 // Inject runs one packet through the pod's full path.
 func (pr *PodRuntime) Inject(f workload.Flow, bytes int) {
 	n := pr.node
+
+	// BGP uplink state: while the link is down but the route still
+	// advertised (the BFD detection window), the switch forwards into a
+	// dead link. After withdrawal, traffic rides the proxy path if one is
+	// armed, otherwise it is blackholed until re-advertisement.
+	if n.uplink != nil {
+		if !n.uplink.LinkUp() && n.uplink.RouteUp() {
+			n.Blackholed++
+			return
+		}
+		if !n.uplink.RouteUp() {
+			if !n.uplinkProxy {
+				n.Blackholed++
+				return
+			}
+			n.Proxied++
+		}
+	}
+
+	// Lifecycle: draining/crashed pods hand their tenants to the sibling.
+	if pr.state != podActive {
+		if pr.redirect != nil && pr.redirect.state == podActive {
+			pr.Redirected++
+			pr.redirect.Inject(f, bytes)
+			return
+		}
+		pr.CrashDrops++
+		return
+	}
+
 	now := n.Engine.Now()
 	pr.Rx++
 
@@ -428,6 +512,13 @@ func (pr *PodRuntime) dispatch(ctx *pktCtx) {
 			pr.putCtx(ctx)
 			return
 		}
+		if pr.rxLossHit(core) {
+			// RX DMA loss after dispatch: the FIFO entry stays behind and
+			// must wait out the reorder timeout (a real HOL source).
+			pr.RxLost++
+			pr.putCtx(ctx)
+			return
+		}
 		if ctx.split {
 			meta.Flags |= packet.MetaFlagHeaderOnly
 			ctx.payID = payloadID(meta)
@@ -443,6 +534,11 @@ func (pr *PodRuntime) dispatch(ctx *pktCtx) {
 		}
 	default:
 		q := pr.RSS.Queue(ctx.flow.Tuple)
+		if pr.rxLossHit(q) {
+			pr.RxLost++
+			pr.putCtx(ctx)
+			return
+		}
 		if !pr.Cores[q].Enqueue(ctx, cost, pr.cpuDoneFn) {
 			pr.QueueDrops++
 			pr.putCtx(ctx)

@@ -35,6 +35,11 @@ type Core struct {
 	finishAt   sim.Time
 
 	stallUntil sim.Time
+	failed     bool
+	// slow multiplies service demands while > 0 and != 1 (the fault layer's
+	// service-time blowup). It applies to packets started after it is set;
+	// an in-service packet keeps its original completion.
+	slow float64
 
 	// busyNS accumulates time spent serving (including stall extensions).
 	busyNS sim.Duration
@@ -43,6 +48,8 @@ type Core struct {
 	Processed uint64
 	Drops     uint64
 	Stalls    uint64
+	// Lost counts packets discarded by Fail (queued or in service).
+	Lost uint64
 }
 
 // NewCore creates a core with the given RX queue depth (packets waiting,
@@ -70,6 +77,10 @@ func (c *Core) BusyTime() sim.Duration { return c.busyNS }
 // when processing completes. It returns false (and counts a drop) when the
 // RX queue is full.
 func (c *Core) Enqueue(item any, service sim.Duration, done func(any)) bool {
+	if c.failed {
+		c.Drops++
+		return false
+	}
 	if service < 0 {
 		service = 0
 	}
@@ -107,6 +118,9 @@ func (c *Core) scheduleWake() {
 }
 
 func (c *Core) start(w work) {
+	if c.slow > 0 && c.slow != 1 {
+		w.service = sim.Duration(float64(w.service) * c.slow)
+	}
 	c.busy = true
 	c.current = w
 	c.busyNS += w.service
@@ -127,7 +141,7 @@ func (c *Core) finish() {
 }
 
 func (c *Core) next() {
-	if c.busy || len(c.queue) == 0 {
+	if c.busy || c.failed || len(c.queue) == 0 {
 		return
 	}
 	if now := c.engine.Now(); now < c.stallUntil {
@@ -164,6 +178,72 @@ func (c *Core) Stall(d sim.Duration) {
 	} else if len(c.queue) > 0 {
 		c.scheduleWake()
 	}
+}
+
+// Fail takes the core offline immediately: the in-service packet and every
+// queued packet are discarded (onLost is invoked for each, so callers can
+// reclaim per-packet state), Enqueue refuses new work, and the completion
+// timer is cancelled. It returns the number of packets lost, which is
+// bounded by QueueDepth+1. Fail on an already-failed core is a no-op.
+func (c *Core) Fail(onLost func(item any)) int {
+	if c.failed {
+		return 0
+	}
+	c.failed = true
+	lost := 0
+	if c.busy {
+		c.completion.Stop()
+		c.completion = sim.Timer{}
+		c.busy = false
+		// Un-account the service time the packet will never finish.
+		c.busyNS -= c.finishAt.Sub(c.engine.Now())
+		if onLost != nil {
+			onLost(c.current.item)
+		}
+		c.current = work{}
+		lost++
+	}
+	for i := range c.queue {
+		if onLost != nil {
+			onLost(c.queue[i].item)
+		}
+		c.queue[i] = work{}
+		lost++
+	}
+	c.queue = c.queue[:0]
+	c.Lost += uint64(lost)
+	return lost
+}
+
+// Recover brings a failed core back online with an empty queue. It also
+// clears any pending stall so the core is immediately schedulable.
+func (c *Core) Recover() {
+	if !c.failed {
+		return
+	}
+	c.failed = false
+	c.stallUntil = 0
+}
+
+// Failed reports whether the core is offline.
+func (c *Core) Failed() bool { return c.failed }
+
+// SetSlowFactor scales the service time of packets started from now on
+// (the fault layer's service-time blowup). factor <= 0 or 1 restores
+// normal speed. The in-service packet keeps its original completion time.
+func (c *Core) SetSlowFactor(factor float64) {
+	if factor <= 0 {
+		factor = 1
+	}
+	c.slow = factor
+}
+
+// SlowFactor returns the active service-time multiplier (1 = healthy).
+func (c *Core) SlowFactor() float64 {
+	if c.slow <= 0 {
+		return 1
+	}
+	return c.slow
 }
 
 // UtilSampler converts a core's cumulative busy time into windowed

@@ -1,0 +1,252 @@
+package eval
+
+import (
+	"albatross/internal/cachesim"
+	"albatross/internal/core"
+	"albatross/internal/faults"
+	"albatross/internal/pod"
+	"albatross/internal/service"
+	"albatross/internal/sim"
+	"albatross/internal/stats"
+	"albatross/internal/workload"
+)
+
+func init() {
+	register("faultcore", "Core failure: spray-mask eviction vs in-flight loss and recovery", runFaultCore)
+	register("faultpod", "Pod crash vs gray upgrade: redirection, loss, restart", runFaultPod)
+	register("faulthol", "Reorder stress: HOL under fault and the automatic RSS fallback", runFaultHOL)
+	register("faultbgp", "BGP uplink flap: BFD detection, blackhole window, proxy recovery", runFaultBGP)
+}
+
+// faultNode builds a node with an optional armed fault plan.
+func faultNode(cfg Config, plan *faults.Plan) *core.Node {
+	n, err := core.NewNode(core.NodeConfig{
+		Seed:   cfg.Seed,
+		Cache:  cachesim.Config{SizeBytes: 4 << 20, Ways: 16, LineBytes: 64},
+		Faults: plan,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func faultPod(n *core.Node, name string, cores int, sf []service.Flow) *core.PodRuntime {
+	pr, err := n.AddPod(core.PodConfig{
+		Spec:  pod.Spec{Name: name, Service: service.VPCVPC, DataCores: cores, CtrlCores: 1, Mode: pod.ModePLB},
+		Flows: sf,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// runFaultCore fails one of four cores mid-run and reports the loss bound,
+// the absence of a timeout storm (eviction releases in-flight reorder
+// state immediately), and the disorder rate before/during/after.
+func runFaultCore(cfg Config) *Result {
+	r := &Result{ID: "faultcore", Title: "Core failure with spray-mask eviction"}
+
+	plan := (&faults.Plan{}).
+		CoreStall(20*sim.Millisecond, 0, 2, 100, 5*sim.Millisecond).
+		CoreFail(21*sim.Millisecond, 0, 2, 10*sim.Millisecond)
+	n := faultNode(cfg, plan)
+	wf := workload.GenerateFlows(2000, 100, cfg.Seed)
+	sf := workload.ServiceFlows(wf, 0)
+	pr := faultPod(n, "gw", 4, sf)
+	src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(1e6), Seed: cfg.Seed + 1, Sink: pr.Sink()}
+	if err := src.Start(n.Engine); err != nil {
+		panic(err)
+	}
+
+	window := func(d sim.Duration) (dTO uint64, disorder float64) {
+		s0 := pr.PLB.Stats()
+		n.RunFor(d)
+		s1 := pr.PLB.Stats()
+		in := s1.EmittedInOrder - s0.EmittedInOrder
+		be := s1.EmittedBestEffort - s0.EmittedBestEffort
+		if in+be > 0 {
+			disorder = float64(be) / float64(in+be)
+		}
+		return s1.TimeoutReleases - s0.TimeoutReleases, disorder
+	}
+
+	healthyTO, healthyDis := window(20 * sim.Millisecond) // plan fires at 20/21ms
+	failTO, failDis := window(11 * sim.Millisecond)       // stall + dead window
+	recTO, recDis := window(20 * sim.Millisecond)         // after recovery
+	src.Stop()
+	n.RunFor(5 * sim.Millisecond)
+	s := pr.PLB.Stats()
+
+	table := stats.NewTable("Window", "Timeout releases", "Disorder rate")
+	table.AddRow("healthy (0-20ms)", healthyTO, healthyDis)
+	table.AddRow("stall+fail (20-31ms)", failTO, failDis)
+	table.AddRow("recovered (31-51ms)", recTO, recDis)
+	r.Table = table
+	r.notef("FaultLost=%d (bound %d), EvictedReleases=%d, up-cores=%d",
+		pr.FaultLost, 1024+1, s.EvictedReleases, pr.PLB.UpCores())
+
+	r.check("loss bounded by core queue depth+1", pr.FaultLost >= 1 && pr.FaultLost <= 1024+1,
+		"FaultLost = %d", pr.FaultLost)
+	r.check("eviction released in-flight reorder state", s.EvictedReleases >= 1,
+		"EvictedReleases = %d", s.EvictedReleases)
+	r.check("core restored to spray mask", pr.PLB.UpCores() == 4,
+		"up cores = %d", pr.PLB.UpCores())
+	r.check("disorder returns to baseline after recovery", recDis <= healthyDis+1e-3,
+		"healthy %.4f vs recovered %.4f", healthyDis, recDis)
+	accounted := pr.Tx + pr.NICDrops + pr.QueueDrops + pr.PLBDrops + pr.ServiceDrop + pr.FaultLost
+	r.check("packet conservation holds across the fault", pr.Rx == accounted,
+		"rx=%d accounted=%d", pr.Rx, accounted)
+	return r
+}
+
+// runFaultPod compares an abrupt pod crash against the graceful gray
+// upgrade, both with a sibling pod absorbing redirected tenants.
+func runFaultPod(cfg Config) *Result {
+	r := &Result{ID: "faultpod", Title: "Pod crash vs gray upgrade with sibling redirection"}
+
+	type outcome struct {
+		lost       uint64
+		redirected uint64
+		restarts   uint64
+		sibTx      uint64
+	}
+	run := func(graceful bool) outcome {
+		n := faultNode(cfg, nil)
+		wf := workload.GenerateFlows(1000, 100, cfg.Seed)
+		sf := workload.ServiceFlows(wf, 0)
+		p0 := faultPod(n, "gw0", 4, sf)
+		p1 := faultPod(n, "gw1", 4, sf)
+		src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(1e6), Seed: cfg.Seed + 1, Sink: p0.Sink()}
+		if err := src.Start(n.Engine); err != nil {
+			panic(err)
+		}
+		n.RunFor(10 * sim.Millisecond)
+		if err := n.InjectPodCrash(0, graceful, 20*sim.Millisecond); err != nil {
+			panic(err)
+		}
+		n.RunFor(40 * sim.Millisecond)
+		src.Stop()
+		n.RunFor(5 * sim.Millisecond)
+		return outcome{lost: p0.FaultLost, redirected: p0.Redirected, restarts: p0.Restarts, sibTx: p1.Tx}
+	}
+
+	crash := run(false)
+	drain := run(true)
+
+	table := stats.NewTable("Scenario", "Packets lost", "Redirected", "Sibling Tx", "Restarts")
+	table.AddRow("abrupt crash", crash.lost, crash.redirected, crash.sibTx, crash.restarts)
+	table.AddRow("gray upgrade", drain.lost, drain.redirected, drain.sibTx, drain.restarts)
+	r.Table = table
+
+	r.check("crash loses only in-flight packets", crash.lost >= 1 && crash.lost <= 4*(1024+1),
+		"lost = %d", crash.lost)
+	r.check("gray upgrade loses nothing", drain.lost == 0, "lost = %d", drain.lost)
+	r.check("tenants redirect to the sibling in both", crash.redirected > 0 && drain.redirected > 0 &&
+		crash.sibTx > 0 && drain.sibTx > 0,
+		"redirected %d/%d, sibling tx %d/%d", crash.redirected, drain.redirected, crash.sibTx, drain.sibTx)
+	r.check("both pods restart", crash.restarts == 1 && drain.restarts == 1,
+		"restarts = %d/%d", crash.restarts, drain.restarts)
+	return r
+}
+
+// runFaultHOL stresses the reorder queues (every head waits out the full
+// 100µs timeout) and shows the watchdog switching the pod to RSS.
+func runFaultHOL(cfg Config) *Result {
+	r := &Result{ID: "faulthol", Title: "Forced HOL blocking and automatic RSS fallback"}
+
+	run := func(stress bool) (dTO uint64, mode pod.Mode, fallbacks uint64, tx uint64) {
+		n := faultNode(cfg, nil)
+		wf := workload.GenerateFlows(1000, 100, cfg.Seed)
+		sf := workload.ServiceFlows(wf, 0)
+		pr := faultPod(n, "gw", 4, sf)
+		pr.EnableAutoFallback(0, 0) // defaults: 1ms window, 5% timeout fraction
+		src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(1e6), Seed: cfg.Seed + 1, Sink: pr.Sink()}
+		if err := src.Start(n.Engine); err != nil {
+			panic(err)
+		}
+		n.RunFor(5 * sim.Millisecond)
+		s0 := pr.PLB.Stats()
+		if stress {
+			nq := pr.PLB.Config().NumOrderQueues
+			for q := 0; q < nq; q++ {
+				if err := n.InjectReorderStress(0, q, 20*sim.Millisecond, true, 0); err != nil {
+					panic(err)
+				}
+			}
+		}
+		n.RunFor(20 * sim.Millisecond)
+		s1 := pr.PLB.Stats()
+		src.Stop()
+		n.RunFor(5 * sim.Millisecond)
+		return s1.TimeoutReleases - s0.TimeoutReleases, pr.Mode(), pr.Fallbacks, pr.Tx
+	}
+
+	hTO, hMode, hFB, hTx := run(false)
+	sTO, sMode, sFB, sTx := run(true)
+
+	table := stats.NewTable("Scenario", "Timeout releases (20ms)", "End mode", "Fallbacks", "Tx")
+	table.AddRow("healthy", hTO, hMode.String(), hFB, hTx)
+	table.AddRow("reorder stress", sTO, sMode.String(), sFB, sTx)
+	r.Table = table
+
+	r.check("healthy pod stays in PLB mode", hMode == pod.ModePLB && hFB == 0,
+		"mode %v, fallbacks %d", hMode, hFB)
+	r.check("stress forces a timeout storm", sTO > hTO*10+100,
+		"healthy %d vs stressed %d", hTO, sTO)
+	r.check("watchdog falls back to RSS", sMode == pod.ModeRSS && sFB == 1,
+		"mode %v, fallbacks %d", sMode, sFB)
+	r.check("traffic continues after fallback", sTx > 0, "tx = %d", sTx)
+	return r
+}
+
+// runFaultBGP flaps the uplink and measures the BFD detection latency, the
+// blackhole window, and proxy-carried traffic, plus a sub-detection flap
+// that must be absorbed.
+func runFaultBGP(cfg Config) *Result {
+	r := &Result{ID: "faultbgp", Title: "Uplink flap: BFD detection and proxy re-advertisement"}
+
+	plan := (&faults.Plan{}).
+		BGPFlap(100*sim.Millisecond, 500*sim.Millisecond). // long flap: detected
+		BGPFlap(2*sim.Second, 100*sim.Millisecond)         // short flap: absorbed
+	n := faultNode(cfg, plan)
+	if _, err := n.EnableUplink(true); err != nil {
+		panic(err)
+	}
+	wf := workload.GenerateFlows(500, 100, cfg.Seed)
+	sf := workload.ServiceFlows(wf, 0)
+	pr := faultPod(n, "gw", 4, sf)
+	src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(1e5), Seed: cfg.Seed + 1, Sink: pr.Sink()}
+	if err := src.Start(n.Engine); err != nil {
+		panic(err)
+	}
+	n.RunFor(3 * sim.Second)
+	src.Stop()
+	n.RunFor(5 * sim.Millisecond)
+
+	st := n.Uplink().Stats()
+	table := stats.NewTable("Metric", "Value")
+	table.AddRow("flaps injected", st.Flaps)
+	table.AddRow("BFD detections", st.Detections)
+	table.AddRow("flaps absorbed (< detection window)", st.Absorbed)
+	table.AddRow("detection latency (ms)", float64(st.LastDetectNS)/1e6)
+	table.AddRow("blackholed packets", n.Blackholed)
+	table.AddRow("proxied packets", n.Proxied)
+	r.Table = table
+
+	r.check("long flap detected once, short flap absorbed", st.Detections == 1 && st.Absorbed == 1,
+		"detections %d, absorbed %d", st.Detections, st.Absorbed)
+	// Detection needs DetectMult (3) consecutive missed 50ms probes and is
+	// quantized to the probe grid, so latency lands within one probe
+	// interval of 3x50ms depending on the flap's phase against the grid.
+	r.check("detection latency within one probe of DetectMult x TxInterval",
+		st.LastDetectNS >= 100*sim.Millisecond && st.LastDetectNS <= 200*sim.Millisecond,
+		"latency %v", st.LastDetectNS)
+	r.check("traffic blackholes only during the detection window, then proxies",
+		n.Blackholed > 0 && n.Proxied > 0 && n.Blackholed < n.Proxied,
+		"blackholed %d, proxied %d", n.Blackholed, n.Proxied)
+	r.check("route re-advertised after the flap", n.Uplink().RouteUp() && n.Uplink().BFDUp(),
+		"routeUp=%v bfdUp=%v", n.Uplink().RouteUp(), n.Uplink().BFDUp())
+	return r
+}

@@ -1,0 +1,29 @@
+package eval
+
+import "testing"
+
+// TestFaultExperimentsPassAndRepeat runs each fault-injection experiment
+// twice at quick scale: every shape check must pass, and the rendered
+// report must be byte-identical across repetitions — the determinism
+// contract extended to fault runs.
+func TestFaultExperimentsPassAndRepeat(t *testing.T) {
+	for _, id := range []string{"faultcore", "faultpod", "faulthol", "faultbgp"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		if e.Volatile {
+			t.Fatalf("%s marked volatile; fault runs must be deterministic", id)
+		}
+		cfg := Config{Seed: 1, Quick: true}
+		first := e.Run(cfg)
+		if !first.Passed() {
+			t.Fatalf("%s failed: %v\n%s", id, first.FailedChecks(), first.String())
+		}
+		second := e.Run(cfg)
+		if first.String() != second.String() {
+			t.Fatalf("%s not byte-identical across repeated runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+				id, first.String(), second.String())
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package faults is Albatross's deterministic fault-injection subsystem:
+// a declarative fault Plan scheduled on the virtual-time engine against a
+// Target (the node). Faults model the failure scenarios the paper's
+// containerization story is built around — pod-level crashes and gray
+// upgrades (§ "Containerized gateways"), sick cores, reorder-engine stress,
+// RX DMA loss, and BGP uplink flaps with BFD detection (§4.3).
+//
+// Everything runs on virtual time: a Plan fired against the same node
+// config and seed produces byte-identical traces across repetitions, the
+// same contract the eval harness established for healthy runs. The package
+// deliberately does not import internal/core; the node implements Target,
+// so the dependency arrow points core → faults.
+package faults
+
+import (
+	"fmt"
+
+	"albatross/internal/errs"
+	"albatross/internal/sim"
+)
+
+// Kind identifies a fault type.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// KindCoreStall multiplies one core's service times by Factor for
+	// Duration (a sick core: thermal throttling, a noisy neighbor, a
+	// runaway numa_balancing).
+	KindCoreStall Kind = iota
+	// KindCoreFail takes one core offline for Duration (or permanently if
+	// Duration is 0): its queued and in-service packets are lost, the PLB
+	// evicts it from the spray mask and releases its in-flight reorder
+	// state.
+	KindCoreFail
+	// KindPodCrash kills a pod abruptly: all cores fail, reorder state is
+	// flushed, and the pod's tenants are redirected to a sibling pod until
+	// the pod restarts Duration later (container restart).
+	KindPodCrash
+	// KindPodDrain is the gray-upgrade path: the pod stops accepting new
+	// packets (tenants redirect to a sibling immediately), in-flight
+	// packets drain normally, and the replacement pod takes over Duration
+	// later. Zero packets are lost.
+	KindPodDrain
+	// KindReorderStress stresses one PLB order queue for Duration: forced
+	// head-of-line blocking (HoldHeads) and/or FIFO depth clamping
+	// (DepthClamp) to provoke overflow drops and timeout storms.
+	KindReorderStress
+	// KindRxLoss drops packets on one core's RX path with probability
+	// Factor for Duration (DMA/queue corruption). Lost packets leave their
+	// reorder FIFO entries behind — a realistic HOL source.
+	KindRxLoss
+	// KindBGPFlap takes the node's BGP uplink down for Duration. BFD
+	// detects after DetectMult missed probes; traffic is blackholed during
+	// detection, then rides the proxy re-advertisement until the session
+	// re-establishes.
+	KindBGPFlap
+)
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	switch k {
+	case KindCoreStall:
+		return "core-stall"
+	case KindCoreFail:
+		return "core-fail"
+	case KindPodCrash:
+		return "pod-crash"
+	case KindPodDrain:
+		return "pod-drain"
+	case KindReorderStress:
+		return "reorder-stress"
+	case KindRxLoss:
+		return "rx-loss"
+	case KindBGPFlap:
+		return "bgp-flap"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Fault is one scheduled fault. Which fields matter depends on Kind.
+type Fault struct {
+	Kind Kind
+	// At is the injection time, relative to when the injector is armed.
+	At sim.Duration
+	// Duration is the fault length; for KindPodCrash/KindPodDrain it is
+	// the restart/upgrade time. 0 means "use the kind's default" where a
+	// default exists (pod restart) or "permanent" (core failure).
+	Duration sim.Duration
+	// Pod indexes the target pod (in deployment order).
+	Pod int
+	// Core indexes the target core within the pod.
+	Core int
+	// Queue indexes the target PLB order queue.
+	Queue int
+	// Factor is the stall service-time multiplier (KindCoreStall) or the
+	// loss probability (KindRxLoss).
+	Factor float64
+	// HoldHeads and DepthClamp select the reorder-stress effects.
+	HoldHeads  bool
+	DepthClamp int
+}
+
+// Plan is an ordered fault schedule. The zero value is a valid empty plan;
+// the builder methods append and return the plan for chaining.
+type Plan struct {
+	Faults []Fault
+}
+
+// CoreStall schedules a service-time blowup: pod/core runs factor× slower
+// from at until at+d.
+func (p *Plan) CoreStall(at sim.Duration, pod, core int, factor float64, d sim.Duration) *Plan {
+	p.Faults = append(p.Faults, Fault{Kind: KindCoreStall, At: at, Duration: d, Pod: pod, Core: core, Factor: factor})
+	return p
+}
+
+// CoreFail schedules a core failure at at, recovering after d (0 = never).
+func (p *Plan) CoreFail(at sim.Duration, pod, core int, d sim.Duration) *Plan {
+	p.Faults = append(p.Faults, Fault{Kind: KindCoreFail, At: at, Duration: d, Pod: pod, Core: core})
+	return p
+}
+
+// PodCrash schedules an abrupt pod crash at at, restarting after d
+// (0 = the container StartupTime default).
+func (p *Plan) PodCrash(at sim.Duration, pod int, d sim.Duration) *Plan {
+	p.Faults = append(p.Faults, Fault{Kind: KindPodCrash, At: at, Duration: d, Pod: pod})
+	return p
+}
+
+// PodDrain schedules a graceful gray-upgrade drain at at, completing after
+// d (0 = the container StartupTime default).
+func (p *Plan) PodDrain(at sim.Duration, pod int, d sim.Duration) *Plan {
+	p.Faults = append(p.Faults, Fault{Kind: KindPodDrain, At: at, Duration: d, Pod: pod})
+	return p
+}
+
+// ReorderStress schedules PLB order-queue stress on pod/queue for d.
+func (p *Plan) ReorderStress(at sim.Duration, pod, queue int, d sim.Duration, holdHeads bool, depthClamp int) *Plan {
+	p.Faults = append(p.Faults, Fault{
+		Kind: KindReorderStress, At: at, Duration: d, Pod: pod, Queue: queue,
+		HoldHeads: holdHeads, DepthClamp: depthClamp,
+	})
+	return p
+}
+
+// RxLoss schedules RX-path loss with probability prob on pod/core for d.
+func (p *Plan) RxLoss(at sim.Duration, pod, core int, prob float64, d sim.Duration) *Plan {
+	p.Faults = append(p.Faults, Fault{Kind: KindRxLoss, At: at, Duration: d, Pod: pod, Core: core, Factor: prob})
+	return p
+}
+
+// BGPFlap schedules a BGP uplink flap of length d at at.
+func (p *Plan) BGPFlap(at, d sim.Duration) *Plan {
+	p.Faults = append(p.Faults, Fault{Kind: KindBGPFlap, At: at, Duration: d})
+	return p
+}
+
+// Validate checks the plan's static shape (indices are checked against the
+// live node at fire time, since pods may be added after the plan is built).
+func (p *Plan) Validate() error {
+	for i, f := range p.Faults {
+		if f.At < 0 {
+			return fmt.Errorf("faults: fault %d (%v): negative At %v: %w", i, f.Kind, f.At, errs.BadConfig)
+		}
+		if f.Duration < 0 {
+			return fmt.Errorf("faults: fault %d (%v): negative Duration: %w", i, f.Kind, errs.BadConfig)
+		}
+		if f.Pod < 0 || f.Core < 0 || f.Queue < 0 {
+			return fmt.Errorf("faults: fault %d (%v): negative target index: %w", i, f.Kind, errs.BadConfig)
+		}
+		switch f.Kind {
+		case KindCoreStall:
+			if f.Factor <= 0 {
+				return fmt.Errorf("faults: fault %d: stall factor %g must be positive: %w", i, f.Factor, errs.BadConfig)
+			}
+			if f.Duration == 0 {
+				return fmt.Errorf("faults: fault %d: stall needs a duration: %w", i, errs.BadConfig)
+			}
+		case KindCoreFail, KindPodCrash, KindPodDrain:
+			// Duration 0 is legal (permanent / default restart).
+		case KindReorderStress:
+			if f.Duration == 0 {
+				return fmt.Errorf("faults: fault %d: reorder stress needs a duration: %w", i, errs.BadConfig)
+			}
+			if !f.HoldHeads && f.DepthClamp <= 0 {
+				return fmt.Errorf("faults: fault %d: reorder stress selects no effect: %w", i, errs.BadConfig)
+			}
+		case KindRxLoss:
+			if f.Factor <= 0 || f.Factor > 1 {
+				return fmt.Errorf("faults: fault %d: loss probability %g out of (0,1]: %w", i, f.Factor, errs.BadConfig)
+			}
+			if f.Duration == 0 {
+				return fmt.Errorf("faults: fault %d: rx loss needs a duration: %w", i, errs.BadConfig)
+			}
+		case KindBGPFlap:
+			if f.Duration == 0 {
+				return fmt.Errorf("faults: fault %d: flap needs a duration: %w", i, errs.BadConfig)
+			}
+		default:
+			return fmt.Errorf("faults: fault %d: unknown kind %d: %w", i, uint8(f.Kind), errs.BadConfig)
+		}
+	}
+	return nil
+}
+
+// Target is what an injector drives. internal/core's Node implements it;
+// the indirection keeps this package free of a core dependency.
+type Target interface {
+	InjectCoreStall(pod, core int, factor float64, d sim.Duration) error
+	InjectCoreFail(pod, core int, d sim.Duration) error
+	InjectPodCrash(pod int, graceful bool, restartAfter sim.Duration) error
+	InjectReorderStress(pod, queue int, d sim.Duration, holdHeads bool, depthClamp int) error
+	InjectRxLoss(pod, core int, prob float64, d sim.Duration) error
+	InjectBGPFlap(d sim.Duration) error
+}
+
+// Event is one injector log entry, recorded when a fault fires.
+type Event struct {
+	At    sim.Time // virtual fire time
+	Fault Fault
+	// Err is non-nil when the target rejected the fault (e.g. the plan
+	// named a pod that was never deployed).
+	Err error
+}
+
+// String renders the event for fault logs; the format is deterministic.
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%v inject %v pod=%d core=%d", sim.Duration(e.At), e.Fault.Kind, e.Fault.Pod, e.Fault.Core)
+	if e.Fault.Duration > 0 {
+		s += fmt.Sprintf(" for %v", e.Fault.Duration)
+	}
+	if e.Err != nil {
+		s += " ERROR: " + e.Err.Error()
+	}
+	return s
+}
+
+// Injector schedules a plan's faults on the engine and dispatches them to
+// the target when they fire.
+type Injector struct {
+	engine *sim.Engine
+	target Target
+	events []Event
+}
+
+// firing boxes one scheduled fault for the arg-form engine callback.
+type firing struct {
+	inj   *Injector
+	fault Fault
+}
+
+// NewInjector validates the plan and arms every fault at now+Fault.At.
+func NewInjector(engine *sim.Engine, target Target, plan *Plan) (*Injector, error) {
+	if engine == nil || target == nil {
+		return nil, fmt.Errorf("faults: nil engine or target: %w", errs.BadConfig)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	inj := &Injector{engine: engine, target: target}
+	for _, f := range plan.Faults {
+		engine.AfterArg(f.At, fireFault, &firing{inj: inj, fault: f})
+	}
+	return inj, nil
+}
+
+func fireFault(arg any) {
+	fr := arg.(*firing)
+	inj, f := fr.inj, fr.fault
+	var err error
+	switch f.Kind {
+	case KindCoreStall:
+		err = inj.target.InjectCoreStall(f.Pod, f.Core, f.Factor, f.Duration)
+	case KindCoreFail:
+		err = inj.target.InjectCoreFail(f.Pod, f.Core, f.Duration)
+	case KindPodCrash:
+		err = inj.target.InjectPodCrash(f.Pod, false, f.Duration)
+	case KindPodDrain:
+		err = inj.target.InjectPodCrash(f.Pod, true, f.Duration)
+	case KindReorderStress:
+		err = inj.target.InjectReorderStress(f.Pod, f.Queue, f.Duration, f.HoldHeads, f.DepthClamp)
+	case KindRxLoss:
+		err = inj.target.InjectRxLoss(f.Pod, f.Core, f.Factor, f.Duration)
+	case KindBGPFlap:
+		err = inj.target.InjectBGPFlap(f.Duration)
+	}
+	inj.events = append(inj.events, Event{At: inj.engine.Now(), Fault: f, Err: err})
+}
+
+// Log returns the fired-fault log in fire order.
+func (inj *Injector) Log() []Event { return inj.events }

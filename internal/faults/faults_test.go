@@ -1,0 +1,143 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"albatross/internal/errs"
+	"albatross/internal/sim"
+)
+
+// recTarget records calls; each Inject* appends an op string.
+type recTarget struct {
+	ops  []string
+	fail bool
+}
+
+func (r *recTarget) rec(op string) error {
+	r.ops = append(r.ops, op)
+	if r.fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+func (r *recTarget) InjectCoreStall(pod, core int, factor float64, d sim.Duration) error {
+	return r.rec("stall")
+}
+func (r *recTarget) InjectCoreFail(pod, core int, d sim.Duration) error { return r.rec("fail") }
+func (r *recTarget) InjectPodCrash(pod int, graceful bool, restartAfter sim.Duration) error {
+	if graceful {
+		return r.rec("drain")
+	}
+	return r.rec("crash")
+}
+func (r *recTarget) InjectReorderStress(pod, queue int, d sim.Duration, holdHeads bool, depthClamp int) error {
+	return r.rec("stress")
+}
+func (r *recTarget) InjectRxLoss(pod, core int, prob float64, d sim.Duration) error {
+	return r.rec("rxloss")
+}
+func (r *recTarget) InjectBGPFlap(d sim.Duration) error { return r.rec("flap") }
+
+func TestInjectorFiresPlanInOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := &recTarget{}
+	plan := (&Plan{}).
+		CoreStall(1*sim.Millisecond, 0, 0, 10, 1*sim.Millisecond).
+		CoreFail(2*sim.Millisecond, 0, 1, 0).
+		PodCrash(3*sim.Millisecond, 0, 0).
+		PodDrain(4*sim.Millisecond, 0, 0).
+		ReorderStress(5*sim.Millisecond, 0, 0, 1*sim.Millisecond, true, 0).
+		RxLoss(6*sim.Millisecond, 0, 0, 0.5, 1*sim.Millisecond).
+		BGPFlap(7*sim.Millisecond, 100*sim.Millisecond)
+	inj, err := NewInjector(eng, tgt, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(10 * sim.Millisecond)
+
+	want := []string{"stall", "fail", "crash", "drain", "stress", "rxloss", "flap"}
+	if len(tgt.ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", tgt.ops, want)
+	}
+	for i := range want {
+		if tgt.ops[i] != want[i] {
+			t.Fatalf("ops[%d] = %q, want %q", i, tgt.ops[i], want[i])
+		}
+	}
+	log := inj.Log()
+	if len(log) != len(want) {
+		t.Fatalf("log has %d events, want %d", len(log), len(want))
+	}
+	for i, e := range log {
+		if e.Err != nil {
+			t.Fatalf("event %d has error %v", i, e.Err)
+		}
+		wantAt := sim.Time(sim.Duration(i+1) * sim.Millisecond)
+		if e.At != wantAt {
+			t.Fatalf("event %d fired at %v, want %v", i, e.At, wantAt)
+		}
+	}
+	if log[0].String() == "" {
+		t.Fatal("empty event rendering")
+	}
+}
+
+func TestInjectorRecordsTargetErrors(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := &recTarget{fail: true}
+	inj, err := NewInjector(eng, tgt, (&Plan{}).BGPFlap(0, 1*sim.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(1 * sim.Millisecond)
+	log := inj.Log()
+	if len(log) != 1 || log[0].Err == nil {
+		t.Fatalf("expected one errored event, got %+v", log)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []*Plan{
+		(&Plan{}).CoreStall(-1, 0, 0, 2, sim.Millisecond),           // negative At
+		(&Plan{}).CoreStall(0, 0, 0, 0, sim.Millisecond),            // zero factor
+		(&Plan{}).CoreStall(0, 0, 0, 2, 0),                          // no duration
+		(&Plan{}).ReorderStress(0, 0, 0, sim.Millisecond, false, 0), // no effect
+		(&Plan{}).RxLoss(0, 0, 0, 1.5, sim.Millisecond),             // prob > 1
+		(&Plan{}).BGPFlap(0, 0),                                     // no duration
+		{Faults: []Fault{{Kind: Kind(200)}}},                        // unknown kind
+		{Faults: []Fault{{Kind: KindCoreFail, Pod: -1}}},            // negative index
+	}
+	for i, p := range bad {
+		err := p.Validate()
+		if err == nil {
+			t.Fatalf("plan %d: expected validation error", i)
+		}
+		if !errors.Is(err, errs.BadConfig) {
+			t.Fatalf("plan %d: error %v does not wrap errs.BadConfig", i, err)
+		}
+		if _, err2 := NewInjector(sim.NewEngine(), &recTarget{}, p); err2 == nil {
+			t.Fatalf("plan %d: NewInjector accepted invalid plan", i)
+		}
+	}
+	ok := (&Plan{}).
+		CoreFail(0, 0, 0, 0).
+		PodCrash(sim.Millisecond, 1, 0)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindCoreStall, KindCoreFail, KindPodCrash, KindPodDrain,
+		KindReorderStress, KindRxLoss, KindBGPFlap}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+}

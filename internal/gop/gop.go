@@ -18,6 +18,7 @@
 package gop
 
 import (
+	"albatross/internal/errs"
 	"fmt"
 
 	"albatross/internal/sim"
@@ -162,13 +163,13 @@ type Limiter struct {
 // NewLimiter creates a rate limiter.
 func NewLimiter(cfg Config) (*Limiter, error) {
 	if cfg.ColorEntries <= 0 || cfg.MeterEntries <= 0 {
-		return nil, fmt.Errorf("gop: table sizes must be positive: %+v", cfg)
+		return nil, fmt.Errorf("gop: table sizes must be positive: %+v: %w", cfg, errs.BadConfig)
 	}
 	if cfg.PreEntries < 0 {
-		return nil, fmt.Errorf("gop: negative PreEntries")
+		return nil, fmt.Errorf("gop: negative PreEntries: %w", errs.BadConfig)
 	}
 	if cfg.Stage1Rate <= 0 || cfg.Stage2Rate <= 0 {
-		return nil, fmt.Errorf("gop: rates must be positive")
+		return nil, fmt.Errorf("gop: rates must be positive: %w", errs.BadConfig)
 	}
 	if cfg.SampleWindow <= 0 {
 		cfg.SampleWindow = sim.Second
@@ -221,7 +222,7 @@ func (l *Limiter) ConfigureBypass(vni uint32) error {
 		return nil
 	}
 	if len(l.pre) >= l.cfg.PreEntries {
-		return fmt.Errorf("gop: pre_check table full (%d entries)", l.cfg.PreEntries)
+		return fmt.Errorf("gop: pre_check table full (%d entries): %w", l.cfg.PreEntries, errs.Exhausted)
 	}
 	l.pre[vni] = &preEntry{vni: vni, bypass: true}
 	return nil
@@ -240,7 +241,7 @@ func (l *Limiter) InstallHeavyHitter(vni uint32, rate float64) error {
 	}
 	if len(l.pre) >= l.cfg.PreEntries {
 		l.stats.PreTableFull++
-		return fmt.Errorf("gop: pre tables full (%d entries)", l.cfg.PreEntries)
+		return fmt.Errorf("gop: pre tables full (%d entries): %w", l.cfg.PreEntries, errs.Exhausted)
 	}
 	l.pre[vni] = &preEntry{vni: vni, meter: NewTokenBucket(rate, l.cfg.Burst)}
 	l.stats.HeavyInstalls++

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"albatross/internal/errs"
 	"albatross/internal/packet"
 	"albatross/internal/sim"
 )
@@ -97,6 +98,9 @@ type Stats struct {
 	TimeoutReleases   uint64 // case 1: head released after Timeout
 	HOLEvents         uint64 // head waits exceeding HOLThreshold
 	StaleEmissions    uint64 // case 3 occurrences specifically
+	EvictedReleases   uint64 // FIFO entries released by EvictCore (failed core)
+	Flushed           uint64 // entries discarded by Flush (pod crash)
+	MaskDrops         uint64 // dispatch with every core evicted
 }
 
 // DisorderRate returns disordered emissions / all emissions.
@@ -110,7 +114,14 @@ func (s *Stats) DisorderRate() float64 {
 
 type reorderInfo struct {
 	psn uint16
-	enq sim.Time
+	// core records which RX queue the packet was sprayed to, so EvictCore
+	// can release exactly the entries whose packets died with a core.
+	core uint8
+	// evicted marks an entry whose core failed before the packet returned:
+	// the reorder check releases it immediately instead of waiting out the
+	// 100µs timeout (the core-failure degradation path).
+	evicted bool
+	enq     sim.Time
 }
 
 type bufSlot struct {
@@ -137,6 +148,11 @@ type ordQueue struct {
 	armed      bool
 	timerAt    sim.Time
 	ref        *queueRef // boxed once at New for allocation-free scheduling
+
+	// Fault-injection stress knobs (see StressQueue). Zero values = healthy.
+	holdUntil  sim.Time // while now < holdUntil, heads release only by timeout
+	clampUntil sim.Time // while now < clampUntil, effective depth = depthClamp
+	depthClamp uint16
 }
 
 // queueRef is the engine-callback argument identifying one queue.
@@ -162,7 +178,11 @@ type PLB struct {
 	qmask  uint32 // len(queues)-1 when a power of two, else 0
 	qpow2  bool
 	rr     int // round-robin core cursor
-	stats  Stats
+	// coreUp is the spray mask: Dispatch skips evicted cores. upCount
+	// caches the number of true entries.
+	coreUp  []bool
+	upCount int
+	stats   Stats
 	// headWait records how long FIFO heads waited before release; feeds the
 	// Fig. 11/12 analyses.
 	headWait *waitAgg
@@ -187,13 +207,13 @@ func (h *waitAgg) add(d sim.Duration) {
 // for every packet leaving the egress.
 func New(engine *sim.Engine, cfg Config, emit func(Emission)) (*PLB, error) {
 	if cfg.NumOrderQueues < 1 || cfg.NumOrderQueues > 64 {
-		return nil, fmt.Errorf("plb: NumOrderQueues %d out of [1,64]", cfg.NumOrderQueues)
+		return nil, fmt.Errorf("plb: NumOrderQueues %d out of [1,64]: %w", cfg.NumOrderQueues, errs.BadConfig)
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4096
 	}
 	if cfg.QueueDepth&(cfg.QueueDepth-1) != 0 || cfg.QueueDepth > 1<<15 {
-		return nil, fmt.Errorf("plb: QueueDepth %d must be a power of two <= 32768", cfg.QueueDepth)
+		return nil, fmt.Errorf("plb: QueueDepth %d must be a power of two <= 32768: %w", cfg.QueueDepth, errs.BadConfig)
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 100 * sim.Microsecond
@@ -201,8 +221,8 @@ func New(engine *sim.Engine, cfg Config, emit func(Emission)) (*PLB, error) {
 	if cfg.HOLThreshold <= 0 {
 		cfg.HOLThreshold = 10 * sim.Microsecond
 	}
-	if cfg.NumCores <= 0 {
-		return nil, fmt.Errorf("plb: NumCores %d must be positive", cfg.NumCores)
+	if cfg.NumCores <= 0 || cfg.NumCores > 256 {
+		return nil, fmt.Errorf("plb: NumCores %d out of [1,256]: %w", cfg.NumCores, errs.BadConfig)
 	}
 	p := &PLB{
 		cfg:      cfg,
@@ -211,7 +231,12 @@ func New(engine *sim.Engine, cfg Config, emit func(Emission)) (*PLB, error) {
 		queues:   make([]ordQueue, cfg.NumOrderQueues),
 		mask:     uint16(cfg.QueueDepth - 1),
 		qpow2:    cfg.NumOrderQueues&(cfg.NumOrderQueues-1) == 0,
+		coreUp:   make([]bool, cfg.NumCores),
+		upCount:  cfg.NumCores,
 		headWait: &waitAgg{},
+	}
+	for i := range p.coreUp {
+		p.coreUp[i] = true
 	}
 	if p.qpow2 {
 		p.qmask = uint32(cfg.NumOrderQueues - 1)
@@ -259,23 +284,40 @@ func (p *PLB) Dispatch(flowHash uint32) (core int, meta packet.Meta, ok bool) {
 	now := p.engine.Now()
 	qi := p.OrdQueueFor(flowHash)
 	q := &p.queues[qi]
-	if q.tail-q.head >= uint16(p.cfg.QueueDepth) {
+	depth := uint16(p.cfg.QueueDepth)
+	if now < q.clampUntil && q.depthClamp < depth {
+		// Reorder-queue stress: the FIFO behaves as if shallower.
+		depth = q.depthClamp
+	}
+	if q.tail-q.head >= depth {
 		p.stats.DispatchDrops++
+		return 0, packet.Meta{}, false
+	}
+	if p.upCount == 0 {
+		// Every core evicted from the spray mask: nowhere to send.
+		p.stats.MaskDrops++
 		return 0, packet.Meta{}, false
 	}
 	psn := q.tail
 	q.tail++
 	idx := psn & p.mask
-	q.info[idx] = reorderInfo{psn: psn, enq: now}
 	// A fresh FIFO entry must not see a stale BUF slot from 4K PSNs ago.
 	q.buf[idx].valid = false
 	q.buf[idx].dropped = false
 
-	core = p.rr
-	p.rr++
-	if p.rr >= p.cfg.NumCores {
-		p.rr = 0
+	// Round-robin over the spray mask. With all cores up this consumes the
+	// cursor exactly like the unmasked path (one increment per dispatch).
+	for {
+		core = p.rr
+		p.rr++
+		if p.rr >= p.cfg.NumCores {
+			p.rr = 0
+		}
+		if p.coreUp[core] {
+			break
+		}
 	}
+	q.info[idx] = reorderInfo{psn: psn, core: uint8(core), enq: now}
 	p.stats.Dispatched++
 
 	meta = packet.Meta{
@@ -366,6 +408,28 @@ func (p *PLB) drain(qi uint8) {
 		slot := &q.buf[idx]
 		age := now.Sub(info.enq)
 
+		if now < q.holdUntil {
+			// Forced HOL stress (StressQueue): heads release only via the
+			// timeout path while the hold window is active. A packet that
+			// did return leaves best-effort — its ordering guarantee is
+			// already lost.
+			if age < p.cfg.Timeout {
+				p.armTimer(qi)
+				return
+			}
+			p.noteHeadWait(age)
+			p.stats.TimeoutReleases++
+			if slot.valid {
+				if !slot.dropped {
+					p.emitBestEffort(slot.item, slot.meta, now)
+				}
+				slot.valid = false
+				slot.item = nil
+			}
+			q.head++
+			continue
+		}
+
 		switch {
 		case slot.valid && slot.psn == info.psn:
 			// Case 4 (or a drop-flag release).
@@ -388,6 +452,12 @@ func (p *PLB) drain(qi uint8) {
 			p.emitBestEffort(slot.item, slot.meta, now)
 			slot.valid = false
 			slot.item = nil
+			if info.evicted {
+				// The true packet died with its core: nothing to wait for.
+				p.stats.EvictedReleases++
+				q.head++
+				continue
+			}
 			// Do not advance head: the true packet may still arrive.
 			if age >= p.cfg.Timeout {
 				p.noteHeadWait(age)
@@ -398,6 +468,15 @@ func (p *PLB) drain(qi uint8) {
 			p.armTimer(qi)
 			return
 		default:
+			if info.evicted {
+				// The spray core failed holding this packet: its return will
+				// never come. Release immediately instead of waiting out the
+				// 100µs timeout, so a core failure does not become a
+				// timeout storm for every tenant sharing the queue.
+				p.stats.EvictedReleases++
+				q.head++
+				continue
+			}
 			// Case 2: not yet returned.
 			if age >= p.cfg.Timeout {
 				// Case 1: release the head.
@@ -452,3 +531,106 @@ func (p *PLB) HeadWaitMean() sim.Duration {
 
 // HeadWaitMax returns the maximum observed FIFO-head wait.
 func (p *PLB) HeadWaitMax() sim.Duration { return p.headWait.max }
+
+// EvictCore removes core from the spray mask (Dispatch stops selecting it)
+// and immediately releases the reorder state of its un-returned in-flight
+// packets, so tenants sharing an order queue with a dead core see bounded
+// extra disorder instead of a 100µs timeout per lost packet. It returns the
+// number of FIFO entries marked lost, bounded by the core's RX queue depth
+// plus one (the in-service packet). Evicting an already-evicted or unknown
+// core is a no-op.
+func (p *PLB) EvictCore(core int) int {
+	if core < 0 || core >= len(p.coreUp) || !p.coreUp[core] {
+		return 0
+	}
+	p.coreUp[core] = false
+	p.upCount--
+	marked := 0
+	for qi := range p.queues {
+		q := &p.queues[qi]
+		for psn := q.head; psn != q.tail; psn++ {
+			idx := psn & p.mask
+			if q.info[idx].core == uint8(core) && !q.buf[idx].valid && !q.info[idx].evicted {
+				q.info[idx].evicted = true
+				marked++
+			}
+		}
+		p.drain(uint8(qi))
+	}
+	return marked
+}
+
+// RestoreCore returns an evicted core to the spray mask (the recovery half
+// of EvictCore). Restoring a live or unknown core is a no-op.
+func (p *PLB) RestoreCore(core int) {
+	if core < 0 || core >= len(p.coreUp) || p.coreUp[core] {
+		return
+	}
+	p.coreUp[core] = true
+	p.upCount++
+}
+
+// CoreUp reports whether core is in the spray mask.
+func (p *PLB) CoreUp(core int) bool {
+	return core >= 0 && core < len(p.coreUp) && p.coreUp[core]
+}
+
+// UpCores returns the number of cores currently in the spray mask.
+func (p *PLB) UpCores() int { return p.upCount }
+
+// StressQueue applies reorder-engine stress to order queue q for duration d
+// (fault injection). holdHeads forces every FIFO head to wait out the full
+// reorder timeout before release (forced HOL / timeout storm); depthClamp,
+// when in (0, QueueDepth), shrinks the FIFO's effective capacity so
+// dispatches overflow (FIFO-full drops). Both effects expire on their own
+// at now+d.
+func (p *PLB) StressQueue(q int, d sim.Duration, holdHeads bool, depthClamp int) error {
+	if q < 0 || q >= len(p.queues) {
+		return fmt.Errorf("plb: stress queue %d out of range [0,%d): %w", q, len(p.queues), errs.BadConfig)
+	}
+	if d <= 0 {
+		return fmt.Errorf("plb: stress duration %v must be positive: %w", d, errs.BadConfig)
+	}
+	oq := &p.queues[q]
+	until := p.engine.Now().Add(d)
+	if holdHeads && until > oq.holdUntil {
+		oq.holdUntil = until
+	}
+	if depthClamp > 0 && depthClamp < p.cfg.QueueDepth {
+		if until > oq.clampUntil {
+			oq.clampUntil = until
+		}
+		oq.depthClamp = uint16(depthClamp)
+	}
+	return nil
+}
+
+// Flush abandons all reorder state (the abrupt pod-crash path): buffered
+// packets are handed to onItem for resource reclamation instead of being
+// emitted, every FIFO resets to empty, and stress windows clear. It returns
+// the number of FIFO entries discarded. Pending queue timers fire as no-ops
+// on the emptied queues.
+func (p *PLB) Flush(onItem func(item any, meta packet.Meta)) int {
+	flushed := 0
+	for qi := range p.queues {
+		q := &p.queues[qi]
+		for psn := q.head; psn != q.tail; psn++ {
+			idx := psn & p.mask
+			slot := &q.buf[idx]
+			if slot.valid {
+				if onItem != nil && !slot.dropped {
+					onItem(slot.item, slot.meta)
+				}
+				slot.valid = false
+				slot.item = nil
+			}
+			flushed++
+		}
+		q.head = q.tail
+		q.holdUntil = 0
+		q.clampUntil = 0
+		q.depthClamp = 0
+	}
+	p.stats.Flushed += uint64(flushed)
+	return flushed
+}

@@ -6,6 +6,7 @@
 package pod
 
 import (
+	"albatross/internal/errs"
 	"fmt"
 
 	"albatross/internal/cpu"
@@ -43,13 +44,13 @@ type Spec struct {
 // Validate checks the spec.
 func (s Spec) Validate() error {
 	if s.Name == "" {
-		return fmt.Errorf("pod: empty name")
+		return fmt.Errorf("pod: empty name: %w", errs.BadConfig)
 	}
 	if s.DataCores <= 0 {
-		return fmt.Errorf("pod %s: DataCores must be positive", s.Name)
+		return fmt.Errorf("pod %s: DataCores must be positive: %w", s.Name, errs.BadConfig)
 	}
 	if s.CtrlCores <= 0 {
-		return fmt.Errorf("pod %s: CtrlCores must be positive", s.Name)
+		return fmt.Errorf("pod %s: CtrlCores must be positive: %w", s.Name, errs.BadConfig)
 	}
 	return nil
 }
@@ -143,7 +144,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	if cfg.NICs <= 0 || cfg.VFsPerNIC <= 0 {
-		return nil, fmt.Errorf("pod: invalid NIC config %+v", cfg)
+		return nil, fmt.Errorf("pod: invalid NIC config %+v: %w", cfg, errs.BadConfig)
 	}
 	if cfg.ReorderQueuesPerServer <= 0 {
 		cfg.ReorderQueuesPerServer = 64
@@ -216,8 +217,8 @@ func (s *Server) Place(spec Spec, now sim.Time) (*Pod, error) {
 		ordq = 0
 	}
 	if s.ordqUsed+ordq > s.cfg.ReorderQueuesPerServer {
-		return nil, fmt.Errorf("pod %s: reorder queues exhausted (%d used of %d)",
-			spec.Name, s.ordqUsed, s.cfg.ReorderQueuesPerServer)
+		return nil, fmt.Errorf("pod %s: reorder queues exhausted (%d used of %d): %w",
+			spec.Name, s.ordqUsed, s.cfg.ReorderQueuesPerServer, errs.Exhausted)
 	}
 
 	// First NUMA node that can satisfy both the core and the VF demand.
@@ -234,8 +235,8 @@ func (s *Server) Place(spec Spec, now sim.Time) (*Pod, error) {
 		}
 	}
 	if node == -1 {
-		return nil, fmt.Errorf("pod %s: no NUMA node with %d free cores and %d free VFs",
-			spec.Name, need, VFsPerPod)
+		return nil, fmt.Errorf("pod %s: no NUMA node with %d free cores and %d free VFs: %w",
+			spec.Name, need, VFsPerPod, errs.Exhausted)
 	}
 	for _, vf := range vfs {
 		s.vfUsed[vf.NIC]++
@@ -285,7 +286,7 @@ func (s *Server) Remove(p *Pod) error {
 		}
 	}
 	if idx == -1 {
-		return fmt.Errorf("pod %s: not on this server", p.Spec.Name)
+		return fmt.Errorf("pod %s: not on this server: %w", p.Spec.Name, errs.BadState)
 	}
 	for _, id := range p.CoreIDs {
 		s.coreUsed[id] = false

@@ -9,6 +9,7 @@
 package rss
 
 import (
+	"albatross/internal/errs"
 	"fmt"
 
 	"albatross/internal/packet"
@@ -86,13 +87,13 @@ type Engine struct {
 // hardware default).
 func NewEngine(nQueues, tableSize int) (*Engine, error) {
 	if nQueues <= 0 {
-		return nil, fmt.Errorf("rss: nQueues %d must be positive", nQueues)
+		return nil, fmt.Errorf("rss: nQueues %d must be positive: %w", nQueues, errs.BadConfig)
 	}
 	if tableSize <= 0 {
 		tableSize = 128
 	}
 	if tableSize&(tableSize-1) != 0 {
-		return nil, fmt.Errorf("rss: table size %d must be a power of two", tableSize)
+		return nil, fmt.Errorf("rss: table size %d must be a power of two: %w", tableSize, errs.BadConfig)
 	}
 	e := &Engine{key: DefaultKey, table: make([]int, tableSize)}
 	for i := range e.table {
@@ -107,7 +108,7 @@ func (e *Engine) SetKey(key [40]byte) { e.key = key }
 // SetIndirection replaces the indirection table (e.g. for rebalancing).
 func (e *Engine) SetIndirection(table []int) error {
 	if len(table) == 0 || len(table)&(len(table)-1) != 0 {
-		return fmt.Errorf("rss: table size %d must be a power of two", len(table))
+		return fmt.Errorf("rss: table size %d must be a power of two: %w", len(table), errs.BadConfig)
 	}
 	e.table = append([]int(nil), table...)
 	return nil

@@ -13,6 +13,7 @@
 package service
 
 import (
+	"albatross/internal/errs"
 	"fmt"
 
 	"albatross/internal/cachesim"
@@ -171,10 +172,10 @@ type Service struct {
 func New(cfg Config) (*Service, error) {
 	prof, ok := profiles[cfg.Type]
 	if !ok {
-		return nil, fmt.Errorf("service: unknown type %v", cfg.Type)
+		return nil, fmt.Errorf("service: unknown type %v: %w", cfg.Type, errs.BadConfig)
 	}
 	if cfg.Cache == nil {
-		return nil, fmt.Errorf("service: cache model required")
+		return nil, fmt.Errorf("service: cache model required: %w", errs.BadConfig)
 	}
 	if cfg.Latency == (cachesim.MemLatency{}) {
 		cfg.Latency = cachesim.DefaultLatency()

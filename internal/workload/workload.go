@@ -9,6 +9,7 @@
 package workload
 
 import (
+	"albatross/internal/errs"
 	"fmt"
 
 	"albatross/internal/packet"
@@ -138,13 +139,13 @@ type Source struct {
 // simulation.
 func (s *Source) Start(engine *sim.Engine) error {
 	if len(s.Flows) == 0 {
-		return fmt.Errorf("workload: source has no flows")
+		return fmt.Errorf("workload: source has no flows: %w", errs.BadConfig)
 	}
 	if s.Rate == nil {
-		return fmt.Errorf("workload: source has no rate function")
+		return fmt.Errorf("workload: source has no rate function: %w", errs.BadConfig)
 	}
 	if s.Sink == nil {
-		return fmt.Errorf("workload: source has no sink")
+		return fmt.Errorf("workload: source has no sink: %w", errs.BadConfig)
 	}
 	if s.PacketBytes <= 0 {
 		s.PacketBytes = 256

@@ -1,0 +1,108 @@
+package albatross
+
+import (
+	"albatross/internal/cachesim"
+	"albatross/internal/core"
+	"albatross/internal/errs"
+	"albatross/internal/faults"
+)
+
+// Sentinel errors. Every facade constructor returns (never panics on) an
+// error wrapping one of these, whichever internal layer detected the
+// problem — classify with errors.Is.
+var (
+	// ErrBadConfig reports an invalid configuration value.
+	ErrBadConfig = errs.BadConfig
+	// ErrPodExhausted reports that a resource pool (cores, VFs, reorder
+	// queues, NAT bindings, ...) cannot satisfy an allocation.
+	ErrPodExhausted = errs.Exhausted
+	// ErrClosed reports an operation on a Node or PodRuntime whose
+	// lifecycle has ended (Node.Close / PodRuntime.Stop).
+	ErrClosed = errs.Closed
+	// ErrBadState reports an operation that is not legal in the
+	// component's current lifecycle state.
+	ErrBadState = errs.BadState
+)
+
+// CacheConfig is the per-NUMA L3 cache geometry.
+type CacheConfig = cachesim.Config
+
+// Option configures a Node built with New. Options layer over NodeConfig:
+// the struct keeps working, and New(WithSeed(1)) is equivalent to
+// NewNode(NodeConfig{Seed: 1}).
+type Option func(*NodeConfig)
+
+// WithSeed sets the node's master RNG seed.
+func WithSeed(seed uint64) Option {
+	return func(c *NodeConfig) { c.Seed = seed }
+}
+
+// WithServerConfig sets the server hardware description.
+func WithServerConfig(sc ServerConfig) Option {
+	return func(c *NodeConfig) { c.Server = sc }
+}
+
+// WithCache sets the per-NUMA L3 cache geometry.
+func WithCache(cc CacheConfig) Option {
+	return func(c *NodeConfig) { c.Cache = cc }
+}
+
+// WithLimiter enables gateway overload protection.
+func WithLimiter(lc LimiterConfig) Option {
+	return func(c *NodeConfig) { c.Limiter = &lc }
+}
+
+// WithFaultPlan arms a deterministic fault-injection schedule; fault times
+// are relative to node creation. See FaultPlan.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(c *NodeConfig) { c.Faults = p }
+}
+
+// New creates an Albatross server simulation from functional options.
+func New(opts ...Option) (*Node, error) {
+	var cfg NodeConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.NewNode(cfg)
+}
+
+// Fault-injection types (see internal/faults). A FaultPlan is built with
+// its chaining methods and armed via WithFaultPlan (or NodeConfig.Faults);
+// faults fire on virtual time, so runs are byte-identical across
+// repetitions at a fixed seed. The node's degradation responses — PLB
+// spray-mask eviction, tenant redirection to a sibling pod, automatic
+// RSS fallback, BGP proxy re-advertisement — are inspected through
+// Node.FaultLog, PodRuntime counters, and PLBStats.
+type (
+	// FaultPlan is an ordered, deterministic fault schedule.
+	FaultPlan = faults.Plan
+	// FaultSpec is one scheduled fault.
+	FaultSpec = faults.Fault
+	// FaultKind identifies a fault type.
+	FaultKind = faults.Kind
+	// FaultEvent is one fired-fault log entry (Node.FaultLog).
+	FaultEvent = faults.Event
+)
+
+// Fault kinds.
+const (
+	// FaultCoreStall multiplies one core's service times (sick core).
+	FaultCoreStall = faults.KindCoreStall
+	// FaultCoreFail takes one core offline; the PLB evicts it from the
+	// spray mask and releases its in-flight reorder state.
+	FaultCoreFail = faults.KindCoreFail
+	// FaultPodCrash kills a pod abruptly; tenants redirect to a sibling
+	// until the container restarts.
+	FaultPodCrash = faults.KindPodCrash
+	// FaultPodDrain is the graceful gray-upgrade drain (zero loss).
+	FaultPodDrain = faults.KindPodDrain
+	// FaultReorderStress forces HOL blocking / FIFO overflow on one PLB
+	// order queue.
+	FaultReorderStress = faults.KindReorderStress
+	// FaultRxLoss drops packets on one core's RX path.
+	FaultRxLoss = faults.KindRxLoss
+	// FaultBGPFlap takes the BGP uplink down; BFD detects, the proxy
+	// re-advertises.
+	FaultBGPFlap = faults.KindBGPFlap
+)

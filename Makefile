@@ -21,23 +21,31 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
-# Race-checks the packages with intentional cross-goroutine sharing: the
-# eval worker pool and the shared/sharded session tables.
+# Race-checks the packages with intentional cross-goroutine sharing (the
+# eval worker pool and the shared/sharded session tables) plus the packet
+# path itself: the node pipeline and the multi-node cluster layer.
+# The race detector slows the eval experiments ~10x, so the default 10m
+# per-package test timeout is not enough headroom.
 race:
-	$(GO) test -race ./internal/eval/ ./internal/flowtable/
+	$(GO) test -race -timeout 30m ./internal/eval/ ./internal/flowtable/ ./internal/cluster/ ./internal/core/
 
-# Runs the packet-path microbenchmark and records ns/op, B/op and
-# allocs/op in BENCH_packetpath.json for tracking across commits.
+# Runs the packet-path microbenchmarks (single node and 3-node cluster)
+# and records ns/op, B/op and allocs/op for each as a JSON array in
+# BENCH_packetpath.json for tracking across commits. The 3s benchtime
+# amortizes process cold-start so recorded numbers are stable.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkPacketPath -benchmem . | tee /dev/stderr | \
-	awk '/^BenchmarkPacketPath/ { \
-		printf "{\n  \"benchmark\": \"%s\",\n  \"ns_per_op\": %s,\n  \"bytes_per_op\": %s,\n  \"allocs_per_op\": %s\n}\n", \
-			$$1, $$3, $$5, $$7 }' > BENCH_packetpath.json
+	$(GO) test -run '^$$' -bench 'BenchmarkPacketPath|BenchmarkClusterPath' -benchtime 3s -benchmem . | tee /dev/stderr | \
+	awk 'BEGIN { n = 0 } \
+	/^Benchmark(Packet|Cluster)Path/ { \
+		if (n++) printf ",\n"; else printf "[\n"; \
+		printf "  {\n    \"benchmark\": \"%s\",\n    \"ns_per_op\": %s,\n    \"bytes_per_op\": %s,\n    \"allocs_per_op\": %s\n  }", \
+			$$1, $$3, $$5, $$7 } \
+	END { if (n) printf "\n]\n" }' > BENCH_packetpath.json
 	@cat BENCH_packetpath.json
 
 clean:

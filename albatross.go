@@ -37,6 +37,7 @@ import (
 	"net"
 
 	"albatross/internal/bgp"
+	"albatross/internal/cluster"
 	"albatross/internal/core"
 	"albatross/internal/eval"
 	"albatross/internal/gop"
@@ -45,6 +46,7 @@ import (
 	"albatross/internal/pod"
 	"albatross/internal/service"
 	"albatross/internal/sim"
+	"albatross/internal/stats"
 	"albatross/internal/workload"
 )
 
@@ -76,12 +78,27 @@ type (
 	PodConfig = core.PodConfig
 	// PodRuntime is a deployed pod's dataplane.
 	PodRuntime = core.PodRuntime
+	// PipelineStage is one per-stage conservation counter of a pod's staged
+	// ingress chain (PodRuntime.Stages).
+	PipelineStage = stats.StageCounter
 	// ProbeResult is a telemetry probe's per-stage latency breakdown.
 	ProbeResult = core.ProbeResult
 	// PodSpec names a pod and sizes its cores.
 	PodSpec = pod.Spec
 	// ServerConfig describes the server hardware.
 	ServerConfig = pod.ServerConfig
+)
+
+// Cluster types.
+type (
+	// Cluster is a multi-node deployment: N servers behind consistent-hash
+	// ECMP on one shared engine, each with a modeled BGP uplink.
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes a cluster (NewCluster builds it from
+	// options; the struct form is cluster.New's input).
+	ClusterConfig = cluster.Config
+	// ClusterMember is one gateway server of a cluster.
+	ClusterMember = cluster.Member
 )
 
 // Service types.

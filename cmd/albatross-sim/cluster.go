@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"albatross"
+)
+
+// clusterRun carries the parsed flags into the multi-node path.
+type clusterRun struct {
+	opts      []albatross.Option
+	podCfg    albatross.PodConfig
+	svcName   string
+	cores     int
+	flows     int
+	tenants   int
+	rate      float64
+	duration  time.Duration
+	seed      uint64
+	autoFB    bool
+	report    bool
+	hasFaults bool
+}
+
+// runCluster is the -nodes > 1 path: N servers behind consistent-hash
+// ECMP, one shared engine, traffic sprayed at the switch. All summary
+// output is deterministic for a fixed seed (wall time goes to stderr).
+func runCluster(cr clusterRun) {
+	cl, err := albatross.NewCluster(cr.opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := cl.AddPod(cr.podCfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if cr.autoFB {
+		for _, m := range cl.Members() {
+			m.Node.Pods()[0].EnableAutoFallback(0, 0)
+		}
+	}
+
+	wf := albatross.GenerateFlows(cr.flows, cr.tenants, cr.seed)
+	src := &albatross.Source{
+		Flows: wf,
+		Rate:  albatross.ConstantRate(cr.rate),
+		Seed:  cr.seed + 1,
+		Sink:  cl.Sink(),
+	}
+	if err := src.Start(cl.Engine); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	wall := time.Now()
+	cl.RunFor(albatross.Duration(cr.duration.Nanoseconds()))
+	src.Stop()
+	cl.RunFor(albatross.Millisecond) // drain in-flight packets
+
+	secs := cr.duration.Seconds()
+	members := cl.Members()
+	fmt.Printf("albatross-sim: %d-node cluster, %s %v pods, %d cores each, %d flows, offered %.2f Mpps for %v (virtual)\n",
+		len(members), cr.svcName, cr.podCfg.Spec.Mode, cr.cores, cr.flows, cr.rate/1e6, cr.duration)
+	fmt.Printf("  ecmp        sprayed=%d remapped=%d switch-drops=%d blackholed=%d\n",
+		cl.Sprayed, cl.Remapped, cl.Drops, cl.Blackholed())
+
+	var totTx uint64
+	for _, m := range members {
+		pr := m.Node.Pods()[0]
+		totTx += pr.Tx
+		fmt.Printf("  node%-2d      [%s] rx=%d tx=%d drops: nic=%d queue=%d plb=%d acl=%d | p50=%.1fµs p99=%.1fµs disorder=%.2e\n",
+			m.Index, m.State(), pr.Rx, pr.Tx,
+			pr.NICDrops, pr.QueueDrops, pr.PLBDrops, pr.ServiceDrop,
+			float64(pr.Latency.Quantile(0.50))/1000,
+			float64(pr.Latency.Quantile(0.99))/1000,
+			pr.DisorderRate())
+	}
+	fmt.Printf("  cluster tx  %12d pkts (%.2f Mpps)\n", totTx, float64(totTx)/secs/1e6)
+
+	if cr.hasFaults {
+		fmt.Println("  faults:")
+		for _, e := range cl.FaultLog() {
+			fmt.Printf("    %s\n", e)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "  wall time   %v\n", time.Since(wall).Round(time.Millisecond))
+	if cr.report {
+		fmt.Println()
+		fmt.Print(cl.Report())
+	}
+}

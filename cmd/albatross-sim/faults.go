@@ -20,8 +20,13 @@ import (
 //	reorderstress@10ms,queue=0,dur=5ms,hold=1,clamp=0
 //	rxloss@10ms,core=1,prob=0.5,dur=5ms
 //	bgpflap@100ms,dur=500ms
+//	nodecrash@30ms,node=1,dur=500ms       (cluster runs, -nodes > 1)
+//	nodedrain@30ms,node=1,dur=100ms
+//	uplinkwithdraw@30ms,node=0,dur=100ms
 //
 // Times use Go duration syntax and are virtual (relative to node start).
+// The "@time" part may be omitted ("-fault nodecrash"): the fault fires at
+// t=0 with the kind's defaults.
 type faultFlag struct {
 	specs []string
 	plan  albatross.FaultPlan
@@ -51,8 +56,14 @@ func (f *faultFlag) Set(spec string) error {
 		f.plan.RxLoss(at, pod, kv.intOr("core", 0), kv.floatOr("prob", 0.5), kv.durOr("dur", 5*albatross.Millisecond))
 	case "bgpflap":
 		f.plan.BGPFlap(at, kv.durOr("dur", 500*albatross.Millisecond))
+	case "nodecrash":
+		f.plan.NodeCrash(at, kv.intOr("node", 0), kv.durOr("dur", 500*albatross.Millisecond))
+	case "nodedrain":
+		f.plan.NodeDrain(at, kv.intOr("node", 0), kv.durOr("dur", 100*albatross.Millisecond))
+	case "uplinkwithdraw":
+		f.plan.UplinkWithdraw(at, kv.intOr("node", 0), kv.durOr("dur", 100*albatross.Millisecond))
 	default:
-		return fmt.Errorf("unknown fault kind %q (corestall|corefail|podcrash|poddrain|reorderstress|rxloss|bgpflap)", kind)
+		return fmt.Errorf("unknown fault kind %q (corestall|corefail|podcrash|poddrain|reorderstress|rxloss|bgpflap|nodecrash|nodedrain|uplinkwithdraw)", kind)
 	}
 	if err := f.plan.Validate(); err != nil {
 		f.plan.Faults = f.plan.Faults[:len(f.plan.Faults)-1]
@@ -67,13 +78,16 @@ type faultKVs map[string]string
 func splitFaultSpec(spec string) (kind string, at albatross.Duration, kv faultKVs, err error) {
 	parts := strings.Split(spec, ",")
 	head := strings.SplitN(parts[0], "@", 2)
-	if len(head) != 2 {
-		return "", 0, nil, fmt.Errorf("fault %q: want kind@time[,k=v...]", spec)
-	}
 	kind = strings.ToLower(head[0])
-	d, err := time.ParseDuration(head[1])
-	if err != nil {
-		return "", 0, nil, fmt.Errorf("fault %q: bad time: %v", spec, err)
+	if kind == "" {
+		return "", 0, nil, fmt.Errorf("fault %q: want kind[@time][,k=v...]", spec)
+	}
+	var d time.Duration
+	if len(head) == 2 {
+		d, err = time.ParseDuration(head[1])
+		if err != nil {
+			return "", 0, nil, fmt.Errorf("fault %q: bad time: %v", spec, err)
+		}
 	}
 	kv = faultKVs{}
 	for _, p := range parts[1:] {

@@ -41,6 +41,7 @@ func main() {
 		report   = flag.Bool("report", false, "print the full node report at the end")
 		pcapOut  = flag.String("pcap", "", "write a sample of generated traffic (first 1000 packets) to this pcap file")
 		autoFB   = flag.Bool("autofallback", false, "arm the reorder-timeout watchdog that falls back PLB->RSS")
+		nodes    = flag.Int("nodes", 1, "gateway servers; >1 deploys a cluster behind consistent-hash ECMP")
 	)
 	var ff faultFlag
 	flag.Var(&ff, "fault", "inject a fault, repeatable: kind@time[,k=v...] e.g. corefail@20ms,core=2,dur=10ms (see cmd/albatross-sim/faults.go)")
@@ -63,6 +64,28 @@ func main() {
 	if len(ff.plan.Faults) > 0 {
 		opts = append(opts, albatross.WithFaultPlan(&ff.plan))
 	}
+
+	podCfg := func() albatross.PodConfig {
+		wf := albatross.GenerateFlows(*flows, *tenants, *seed)
+		return albatross.PodConfig{
+			Spec: albatross.PodSpec{
+				Name: "gw0", Service: svc,
+				DataCores: *cores, CtrlCores: 2, Mode: mode,
+			},
+			Flows: albatross.ServiceFlows(wf, *denied),
+		}
+	}
+
+	if *nodes > 1 {
+		runCluster(clusterRun{
+			opts: append(opts, albatross.WithNodes(*nodes)), podCfg: podCfg(),
+			svcName: *svcName, cores: *cores, flows: *flows,
+			tenants: *tenants, rate: *rate, duration: *duration, seed: *seed,
+			autoFB: *autoFB, report: *report, hasFaults: len(ff.plan.Faults) > 0,
+		})
+		return
+	}
+
 	node, err := albatross.New(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -139,7 +162,9 @@ func main() {
 	if len(ff.plan.Faults) > 0 {
 		printFaultSummary(node, pod)
 	}
-	fmt.Printf("  wall time   %v\n", time.Since(wall).Round(time.Millisecond))
+	// Wall time goes to stderr: stdout stays byte-identical across repeat
+	// runs at a fixed seed.
+	fmt.Fprintf(os.Stderr, "  wall time   %v\n", time.Since(wall).Round(time.Millisecond))
 	if capture != nil {
 		if err := capture.close(); err != nil {
 			fmt.Fprintln(os.Stderr, "pcap:", err)

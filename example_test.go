@@ -173,6 +173,54 @@ func ExampleWithFaultPlan() {
 	// loss bounded: true, core restored: true
 }
 
+// ExampleNewCluster mirrors examples/clusterupgrade at toy scale: a
+// 3-node ECMP cluster gray-upgrades one member under live traffic. The
+// route is withdrawn before the pods drain (make-before-break), so the
+// upgrade is lossless: every packet the switch sprayed is emitted.
+func ExampleNewCluster() {
+	plan := (&albatross.FaultPlan{}).
+		NodeDrain(10*albatross.Millisecond, 1, 20*albatross.Millisecond)
+	cl, err := albatross.NewCluster(
+		albatross.WithSeed(1),
+		albatross.WithNodes(3),
+		albatross.WithFaultPlan(plan),
+	)
+	if err != nil {
+		panic(err)
+	}
+	flows := albatross.GenerateFlows(1000, 10, 1)
+	if err := cl.AddPod(albatross.PodConfig{
+		Spec: albatross.PodSpec{Name: "gw", Service: albatross.VPCVPC,
+			DataCores: 2, CtrlCores: 1, Mode: albatross.ModePLB},
+		Flows: albatross.ServiceFlows(flows, 0),
+	}); err != nil {
+		panic(err)
+	}
+	src := &albatross.Source{Flows: flows, Rate: albatross.ConstantRate(200000),
+		Deterministic: true, Sink: cl.Sink()}
+	if err := src.Start(cl.Engine); err != nil {
+		panic(err)
+	}
+	cl.RunFor(50 * albatross.Millisecond)
+	src.Stop()
+	cl.RunFor(5 * albatross.Millisecond)
+
+	var tx uint64
+	for _, m := range cl.Members() {
+		for _, pr := range m.Node.Pods() {
+			tx += pr.Tx
+		}
+	}
+	m := cl.Members()[1]
+	fmt.Printf("nodes=%d drains=%d restarts=%d\n",
+		len(cl.Members()), m.Drains, m.Node.Pods()[0].Restarts)
+	fmt.Printf("lossless upgrade: %v\n",
+		tx == cl.Sprayed && cl.Drops == 0 && cl.Blackholed() == 0)
+	// Output:
+	// nodes=3 drains=1 restarts=1
+	// lossless upgrade: true
+}
+
 // ExampleNode_EnableUplink mirrors examples/bgpproxy in the virtual-time
 // model: a long uplink flap is detected by BFD, a short one is absorbed.
 func ExampleNode_EnableUplink() {

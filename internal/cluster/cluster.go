@@ -1,0 +1,414 @@
+// Package cluster is the multi-node Albatross deployment: N containerized
+// gateway servers (core.Node) behind one ToR switch, advancing on one
+// shared virtual-time engine. Ingress flows are sprayed across nodes with
+// consistent-hash ECMP (flow-affine, bounded remap on membership churn),
+// and each node's reachability is governed by its modeled BGP uplink — so
+// a node crash is only *observed* by the ECMP layer once BFD misses
+// DetectMult probes and the route is withdrawn, exactly the paper's
+// bounded-loss failover story, while gray upgrades withdraw
+// administratively first (make-before-break, zero loss).
+//
+// The package implements faults.NodeTarget, extending the deterministic
+// fault plans of internal/faults to node granularity (node crash, node
+// drain, uplink withdraw) while still routing pod-level faults to member
+// nodes via Fault.Node.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"albatross/internal/core"
+	"albatross/internal/errs"
+	"albatross/internal/faults"
+	"albatross/internal/sim"
+	"albatross/internal/workload"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Nodes is the member count (≥ 1).
+	Nodes int
+	// Seed feeds the per-member node seeds (member i derives a distinct
+	// deterministic seed from it).
+	Seed uint64
+	// Node is the per-member template. Its Seed/Engine/Faults fields are
+	// overridden: seeds derive from Config.Seed, all members share one
+	// engine, and fault plans are cluster-level (Config.Faults).
+	Node core.NodeConfig
+	// VNodesPerNode is the consistent-hash vnode count per member
+	// (default 64; higher = tighter remap bound, bigger table).
+	VNodesPerNode int
+	// Faults, when non-nil, arms a deterministic cluster-level fault plan
+	// (node- and pod-level kinds; Fault.Node selects the member).
+	Faults *faults.Plan
+}
+
+// memberState tracks a member's lifecycle for reporting; ECMP eligibility
+// is deliberately *not* derived from it (the switch only sees BGP state).
+type memberState uint8
+
+const (
+	memberActive memberState = iota
+	memberDraining
+	memberCrashed
+)
+
+func (s memberState) String() string {
+	switch s {
+	case memberActive:
+		return "active"
+	case memberDraining:
+		return "draining"
+	case memberCrashed:
+		return "crashed"
+	default:
+		return "invalid"
+	}
+}
+
+// Member is one gateway server in the cluster.
+type Member struct {
+	// Index is the member's stable position (also its ring identity).
+	Index int
+	// Node is the underlying server.
+	Node *core.Node
+
+	state memberState
+	// adminUntil implements administrative withdrawal (drain, uplink
+	// withdraw): the member is ineligible while now < adminUntil. Unlike a
+	// crash, the switch learns immediately — make-before-break.
+	adminUntil sim.Time
+
+	// Rx counts packets ECMP delivered to this member.
+	Rx uint64
+	// Drains and Crashes count node-level fault activations.
+	Drains  uint64
+	Crashes uint64
+}
+
+// State returns the member's lifecycle state name.
+func (m *Member) State() string { return m.state.String() }
+
+// Cluster is a set of Albatross nodes behind consistent-hash ECMP.
+type Cluster struct {
+	Engine *sim.Engine
+
+	cfg      Config
+	members  []*Member
+	ring     *ring
+	injector *faults.Injector
+	// podCfgs replays deployed pods onto members added later.
+	podCfgs []core.PodConfig
+	// eligibleFn is the ring's eligibility probe, bound once so Inject
+	// stays allocation-free.
+	eligibleFn func(int) bool
+
+	// Sprayed counts ingress packets offered to the ECMP layer; Remapped
+	// counts those delivered to a member other than their ring home (the
+	// failover spillover); Drops counts packets with no eligible member.
+	Sprayed  uint64
+	Remapped uint64
+	Drops    uint64
+}
+
+// foreverDuration stands in for "permanent" when a fault's Duration is 0.
+const foreverDuration = sim.Duration(1) << 60
+
+// memberSeed derives member i's node seed from the cluster seed.
+func memberSeed(seed uint64, i int) uint64 {
+	return mix64(seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+}
+
+// New builds a cluster of cfg.Nodes members on one shared engine. Every
+// member gets a modeled BGP uplink (default BFD timing) — reachability is
+// what ECMP eligibility is derived from.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 node, got %d: %w", cfg.Nodes, errs.BadConfig)
+	}
+	if cfg.VNodesPerNode == 0 {
+		cfg.VNodesPerNode = 64
+	}
+	if cfg.VNodesPerNode < 1 {
+		return nil, fmt.Errorf("cluster: VNodesPerNode %d must be positive: %w", cfg.VNodesPerNode, errs.BadConfig)
+	}
+	c := &Cluster{
+		Engine: sim.NewEngine(),
+		cfg:    cfg,
+		ring:   newRing(cfg.VNodesPerNode),
+	}
+	c.eligibleFn = c.eligible
+	for i := 0; i < cfg.Nodes; i++ {
+		if _, err := c.addMember(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Faults != nil {
+		inj, err := faults.NewInjector(c.Engine, c, cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		c.injector = inj
+	}
+	return c, nil
+}
+
+// addMember builds, uplinks, and ring-registers the next member.
+func (c *Cluster) addMember() (*Member, error) {
+	i := len(c.members)
+	ncfg := c.cfg.Node
+	ncfg.Seed = memberSeed(c.cfg.Seed, i)
+	ncfg.Engine = c.Engine
+	ncfg.Faults = nil
+	n, err := core.NewNode(ncfg)
+	if err != nil {
+		return nil, err
+	}
+	// No proxy: at cluster scope the failover path is re-ECMP to
+	// survivors, not a sibling re-advertisement of the same prefix.
+	if _, err := n.EnableUplink(false); err != nil {
+		return nil, err
+	}
+	m := &Member{Index: i, Node: n}
+	c.members = append(c.members, m)
+	c.ring.add(i)
+	return m, nil
+}
+
+// AddNode grows the cluster by one member at runtime, replaying every
+// deployed pod config onto it. Consistent hashing bounds the disruption:
+// only ~1/(N+1) of flows remap onto the new member. Returns the new
+// member's index.
+func (c *Cluster) AddNode() (int, error) {
+	m, err := c.addMember()
+	if err != nil {
+		return 0, err
+	}
+	for _, pcfg := range c.podCfgs {
+		if _, err := m.Node.AddPod(pcfg); err != nil {
+			return 0, err
+		}
+	}
+	return m.Index, nil
+}
+
+// AddPod deploys the pod on every member (the homogeneous rack) and
+// records it for members added later.
+func (c *Cluster) AddPod(cfg core.PodConfig) error {
+	for _, m := range c.members {
+		if _, err := m.Node.AddPod(cfg); err != nil {
+			return fmt.Errorf("cluster: node %d: %w", m.Index, err)
+		}
+	}
+	c.podCfgs = append(c.podCfgs, cfg)
+	return nil
+}
+
+// Members returns the cluster members in index order.
+func (c *Cluster) Members() []*Member { return c.members }
+
+// memberAt resolves a fault plan's node index.
+func (c *Cluster) memberAt(i int) (*Member, error) {
+	if i < 0 || i >= len(c.members) {
+		return nil, fmt.Errorf("cluster: node index %d out of range [0,%d): %w", i, len(c.members), errs.BadConfig)
+	}
+	return c.members[i], nil
+}
+
+// NodeAt resolves member i as a pod-level fault target. Implements
+// faults.NodeTarget.
+func (c *Cluster) NodeAt(i int) (faults.Target, error) {
+	m, err := c.memberAt(i)
+	if err != nil {
+		return nil, err
+	}
+	return m.Node, nil
+}
+
+// eligible reports whether the switch would ECMP traffic to member i: the
+// route must be advertised (BGP view) and not administratively withdrawn.
+// Crash state deliberately does not factor in — the switch cannot see a
+// crash until BFD withdraws the route, which is where the bounded
+// detection-window loss comes from.
+func (c *Cluster) eligible(i int) bool {
+	m := c.members[i]
+	if c.Engine.Now() < m.adminUntil {
+		return false
+	}
+	return m.Node.Uplink().RouteUp()
+}
+
+// flowHash is the ECMP key: tenant and five-tuple, so a flow is node-affine.
+func flowHash(f workload.Flow) uint64 {
+	return uint64(f.VNI)<<32 ^ uint64(f.Tuple.Hash())
+}
+
+// Route reports where flow f lands without injecting: its ring home and
+// the eligible owner that would receive it now (-1 when none).
+func (c *Cluster) Route(f workload.Flow) (home, owner int) {
+	return c.ring.lookup(flowHash(f), c.eligibleFn)
+}
+
+// Inject sprays one packet through ECMP into the owning member's ingress
+// pod. Packets with no eligible member are dropped at the switch.
+func (c *Cluster) Inject(f workload.Flow, bytes int) {
+	c.Sprayed++
+	home, owner := c.ring.lookup(flowHash(f), c.eligibleFn)
+	if owner < 0 {
+		c.Drops++
+		return
+	}
+	if owner != home {
+		c.Remapped++
+	}
+	m := c.members[owner]
+	m.Rx++
+	pods := m.Node.Pods()
+	if len(pods) == 0 {
+		c.Drops++
+		return
+	}
+	// Ingress lands on pod 0; further pods are upgrade/crash siblings that
+	// receive traffic via the node's redirect machinery.
+	pods[0].Inject(f, bytes)
+}
+
+// Sink adapts the cluster to a workload.Source sink.
+func (c *Cluster) Sink() func(workload.Flow, int) {
+	return func(f workload.Flow, bytes int) { c.Inject(f, bytes) }
+}
+
+// RunFor advances the shared virtual clock.
+func (c *Cluster) RunFor(d sim.Duration) { c.Engine.RunFor(d) }
+
+// InjectNodeCrash kills member node abruptly: the uplink goes down (BFD
+// detects after its probe window; arrivals meanwhile are blackholed at the
+// dead link) and every pod crashes. The node recovers after d (0 = never):
+// pods restart, BFD comes back, and the route re-advertises, restoring the
+// exact pre-crash ECMP assignment. Implements faults.NodeTarget.
+func (c *Cluster) InjectNodeCrash(node int, d sim.Duration) error {
+	m, err := c.memberAt(node)
+	if err != nil {
+		return err
+	}
+	if m.state == memberCrashed {
+		return fmt.Errorf("cluster: node %d already crashed: %w", node, errs.BadState)
+	}
+	if d <= 0 {
+		d = foreverDuration
+	}
+	m.state = memberCrashed
+	m.Crashes++
+	m.Node.Uplink().InjectFlap(d)
+	for pi, pr := range m.Node.Pods() {
+		if pr.State() == "active" {
+			if err := m.Node.InjectPodCrash(pi, false, d); err != nil {
+				return err
+			}
+		}
+	}
+	c.Engine.After(d, func() {
+		if m.state == memberCrashed {
+			m.state = memberActive
+		}
+	})
+	return nil
+}
+
+// InjectNodeDrain gray-upgrades member node: its route is withdrawn
+// administratively *first* (make-before-break — new flows re-ECMP to
+// survivors instantly, zero loss), its pods drain in place so in-flight
+// packets complete, and the node rejoins the ECMP group after d.
+// Implements faults.NodeTarget.
+func (c *Cluster) InjectNodeDrain(node int, d sim.Duration) error {
+	m, err := c.memberAt(node)
+	if err != nil {
+		return err
+	}
+	if d <= 0 {
+		return fmt.Errorf("cluster: node drain needs a positive duration: %w", errs.BadConfig)
+	}
+	if m.state != memberActive {
+		return fmt.Errorf("cluster: node %d is %v, not active: %w", node, m.state, errs.BadState)
+	}
+	m.state = memberDraining
+	m.Drains++
+	if until := c.Engine.Now().Add(d); until > m.adminUntil {
+		m.adminUntil = until
+	}
+	for pi, pr := range m.Node.Pods() {
+		if pr.State() == "active" {
+			if err := m.Node.InjectPodCrash(pi, true, d); err != nil {
+				return err
+			}
+		}
+	}
+	c.Engine.After(d, func() {
+		if m.state == memberDraining {
+			m.state = memberActive
+		}
+	})
+	return nil
+}
+
+// InjectUplinkWithdraw administratively withdraws member node's route for
+// d without touching its pods (drain-the-uplink). Implements
+// faults.NodeTarget.
+func (c *Cluster) InjectUplinkWithdraw(node int, d sim.Duration) error {
+	m, err := c.memberAt(node)
+	if err != nil {
+		return err
+	}
+	if d <= 0 {
+		return fmt.Errorf("cluster: uplink withdraw needs a positive duration: %w", errs.BadConfig)
+	}
+	if until := c.Engine.Now().Add(d); until > m.adminUntil {
+		m.adminUntil = until
+	}
+	return nil
+}
+
+// Blackholed sums packets lost at dead links across members (the BFD
+// detection-window loss).
+func (c *Cluster) Blackholed() uint64 {
+	var total uint64
+	for _, m := range c.members {
+		total += m.Node.Blackholed
+	}
+	return total
+}
+
+// FaultLog returns the fired-fault log of the cluster's injector (nil when
+// no plan was armed).
+func (c *Cluster) FaultLog() []faults.Event {
+	if c.injector == nil {
+		return nil
+	}
+	return c.injector.Log()
+}
+
+// Report renders the cluster-level view followed by each member node's
+// report. The output is deterministic for a fixed seed and plan.
+func (c *Cluster) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "albatross cluster @ %v virtual, %d nodes: sprayed=%d remapped=%d switch-drops=%d blackholed=%d\n",
+		c.Engine.Now(), len(c.members), c.Sprayed, c.Remapped, c.Drops, c.Blackholed())
+	for _, m := range c.members {
+		fmt.Fprintf(&b, "node %d [%s] rx=%d drains=%d crashes=%d route-up=%v\n",
+			m.Index, m.state, m.Rx, m.Drains, m.Crashes, c.eligible(m.Index))
+		b.WriteString(m.Node.Report())
+	}
+	return b.String()
+}
+
+// Close closes every member node.
+func (c *Cluster) Close() error {
+	var errAll error
+	for _, m := range c.members {
+		if err := m.Node.Close(); err != nil {
+			errAll = err
+		}
+	}
+	return errAll
+}

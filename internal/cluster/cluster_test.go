@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"albatross/internal/core"
+	"albatross/internal/errs"
+	"albatross/internal/faults"
+	"albatross/internal/pod"
+	"albatross/internal/service"
+	"albatross/internal/sim"
+	"albatross/internal/workload"
+)
+
+const testSeed = 42
+
+func testCluster(t *testing.T, nodes int, plan *faults.Plan) (*Cluster, []workload.Flow) {
+	t.Helper()
+	c, err := New(Config{Nodes: nodes, Seed: testSeed, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := workload.GenerateFlows(2000, 100, testSeed)
+	if err := c.AddPod(core.PodConfig{
+		Spec:  pod.Spec{Name: "gw", Service: service.VPCVPC, DataCores: 4, CtrlCores: 1, Mode: pod.ModePLB},
+		Flows: workload.ServiceFlows(wf, 0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c, wf
+}
+
+// ownersOf snapshots the current ECMP owner per flow.
+func ownersOf(c *Cluster, flows []workload.Flow) []int {
+	owners := make([]int, len(flows))
+	for i, f := range flows {
+		_, owners[i] = c.Route(f)
+	}
+	return owners
+}
+
+func TestRouteAffinityAndSpread(t *testing.T) {
+	c, wf := testCluster(t, 3, nil)
+	perNode := make([]int, 3)
+	for _, f := range wf {
+		home, owner := c.Route(f)
+		if home != owner {
+			t.Fatalf("healthy cluster remapped flow: home %d owner %d", home, owner)
+		}
+		h2, o2 := c.Route(f)
+		if h2 != home || o2 != owner {
+			t.Fatal("routing is not flow-affine")
+		}
+		perNode[owner]++
+	}
+	for i, n := range perNode {
+		frac := float64(n) / float64(len(wf))
+		if frac < 0.20 || frac > 0.47 {
+			t.Fatalf("node %d owns %.2f of flows; want roughly 1/3", i, frac)
+		}
+	}
+}
+
+func TestNodeCrashRemapBoundAndRecovery(t *testing.T) {
+	c, wf := testCluster(t, 3, nil)
+	before := ownersOf(c, wf)
+
+	if err := c.InjectNodeCrash(1, 500*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Past the BFD detection window: the route is withdrawn.
+	c.RunFor(300 * sim.Millisecond)
+	if c.eligible(1) {
+		t.Fatal("crashed node still ECMP-eligible after BFD detection")
+	}
+
+	after := ownersOf(c, wf)
+	remapped := 0
+	for i := range wf {
+		if after[i] == before[i] {
+			continue
+		}
+		remapped++
+		if before[i] != 1 {
+			t.Fatalf("flow %d moved from surviving node %d to %d", i, before[i], after[i])
+		}
+		if after[i] == 1 {
+			t.Fatalf("flow %d mapped onto the dead node", i)
+		}
+	}
+	frac := float64(remapped) / float64(len(wf))
+	if frac == 0 {
+		t.Fatal("no flows remapped off the dead node")
+	}
+	if frac > 2.0/3 {
+		t.Fatalf("remapped fraction %.3f exceeds the 2/N=%.3f consistent-hash bound", frac, 2.0/3)
+	}
+
+	// Recovery: link back at 500ms, BFD recovers, route re-advertises 1s
+	// later; the ring is untouched so the exact assignment is restored.
+	c.RunFor(1500 * sim.Millisecond)
+	if !c.eligible(1) {
+		t.Fatal("recovered node not re-eligible")
+	}
+	restored := ownersOf(c, wf)
+	for i := range wf {
+		if restored[i] != before[i] {
+			t.Fatalf("flow %d not restored to pre-crash owner: %d vs %d", i, restored[i], before[i])
+		}
+	}
+}
+
+func TestNodeCrashBoundedLoss(t *testing.T) {
+	plan := (&faults.Plan{}).NodeCrash(30*sim.Millisecond, 1, 500*sim.Millisecond)
+	c, wf := testCluster(t, 3, plan)
+	src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(3e5), Seed: testSeed + 1, Sink: c.Sink()}
+	if err := src.Start(c.Engine); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(400 * sim.Millisecond)
+	src.Stop()
+	c.RunFor(5 * sim.Millisecond)
+
+	if c.Blackholed() == 0 {
+		t.Fatal("no detection-window loss recorded for an abrupt crash")
+	}
+	// Loss is bounded by the detection window (~200ms grid-quantized) times
+	// the dead node's traffic share (~1/3 of 300kpps): generously, 2×.
+	bound := uint64(2 * 0.2 * 3e5 / 3)
+	if c.Blackholed() > bound {
+		t.Fatalf("blackholed %d exceeds detection-window bound %d", c.Blackholed(), bound)
+	}
+	if c.Remapped == 0 {
+		t.Fatal("no packets remapped to survivors after withdrawal")
+	}
+	if len(c.FaultLog()) != 1 {
+		t.Fatalf("fault log has %d events, want 1", len(c.FaultLog()))
+	}
+	// Surviving nodes keep per-flow order: their PLB reorder engines see no
+	// best-effort (out-of-order) emissions caused by the failover.
+	for _, m := range c.Members() {
+		if m.Index == 1 {
+			continue
+		}
+		pr := m.Node.Pods()[0]
+		if pr.DisorderRate() != 0 {
+			t.Fatalf("survivor %d disorder rate %g, want 0", m.Index, pr.DisorderRate())
+		}
+	}
+}
+
+func TestNodeDrainZeroLoss(t *testing.T) {
+	plan := (&faults.Plan{}).NodeDrain(30*sim.Millisecond, 1, 100*sim.Millisecond)
+	c, wf := testCluster(t, 3, plan)
+	src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(3e5), Seed: testSeed + 1, Sink: c.Sink()}
+	if err := src.Start(c.Engine); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(200 * sim.Millisecond)
+	src.Stop()
+	c.RunFor(10 * sim.Millisecond)
+
+	m := c.Members()[1]
+	if m.Drains != 1 {
+		t.Fatalf("drains = %d, want 1", m.Drains)
+	}
+	if c.Blackholed() != 0 || c.Drops != 0 {
+		t.Fatalf("drain lost packets: blackholed=%d switch-drops=%d", c.Blackholed(), c.Drops)
+	}
+	var tx, crashDrops uint64
+	for _, m := range c.Members() {
+		for _, pr := range m.Node.Pods() {
+			tx += pr.Tx
+			crashDrops += pr.CrashDrops
+		}
+	}
+	if crashDrops != 0 {
+		t.Fatalf("drain dropped %d packets at crashed pods", crashDrops)
+	}
+	if tx != c.Sprayed {
+		t.Fatalf("tx %d != sprayed %d: make-before-break lost packets", tx, c.Sprayed)
+	}
+	if !c.eligible(1) {
+		t.Fatal("drained node did not rejoin after upgrade")
+	}
+	if m.Node.Pods()[0].Restarts != 1 {
+		t.Fatalf("pod restarts = %d, want 1 (gray upgrade)", m.Node.Pods()[0].Restarts)
+	}
+}
+
+func TestUplinkWithdraw(t *testing.T) {
+	c, wf := testCluster(t, 3, nil)
+	if err := c.InjectUplinkWithdraw(0, 50*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if c.eligible(0) {
+		t.Fatal("withdrawn node still eligible")
+	}
+	for _, f := range wf {
+		if _, owner := c.Route(f); owner == 0 {
+			t.Fatal("flow routed to withdrawn node")
+		}
+	}
+	c.RunFor(51 * sim.Millisecond)
+	if !c.eligible(0) {
+		t.Fatal("node not restored after withdraw expiry")
+	}
+}
+
+func TestAddNodeBoundedRemap(t *testing.T) {
+	c, wf := testCluster(t, 3, nil)
+	before := ownersOf(c, wf)
+	idx, err := c.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 3 {
+		t.Fatalf("new member index = %d, want 3", idx)
+	}
+	if got := len(c.Members()[3].Node.Pods()); got != 1 {
+		t.Fatalf("new member has %d pods, want 1 (replayed)", got)
+	}
+	after := ownersOf(c, wf)
+	moved := 0
+	for i := range wf {
+		if after[i] != before[i] {
+			moved++
+			if after[i] != 3 {
+				t.Fatalf("flow %d moved between old members (%d->%d) on add", i, before[i], after[i])
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(wf))
+	if frac == 0 || frac > 2.0/4 {
+		t.Fatalf("add-node remap fraction %.3f outside (0, 2/(N+1)=%.3f]", frac, 2.0/4)
+	}
+}
+
+func TestAllNodesDownDropsAtSwitch(t *testing.T) {
+	c, wf := testCluster(t, 2, nil)
+	for i := range c.Members() {
+		if err := c.InjectUplinkWithdraw(i, 10*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Inject(wf[0], 256)
+	if c.Drops != 1 {
+		t.Fatalf("switch drops = %d, want 1 with no eligible member", c.Drops)
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	run := func() string {
+		plan := (&faults.Plan{}).NodeCrash(30*sim.Millisecond, 1, 500*sim.Millisecond)
+		c, wf := testCluster(t, 3, plan)
+		src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(2e5), Seed: testSeed + 1, Sink: c.Sink()}
+		if err := src.Start(c.Engine); err != nil {
+			t.Fatal(err)
+		}
+		c.RunFor(300 * sim.Millisecond)
+		src.Stop()
+		c.RunFor(5 * sim.Millisecond)
+		return c.Report()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatal("cluster runs with identical seed and plan diverged")
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := New(Config{Nodes: 0}); !errors.Is(err, errs.BadConfig) {
+		t.Fatalf("Nodes=0 accepted: %v", err)
+	}
+	c, _ := testCluster(t, 2, nil)
+	if _, err := c.NodeAt(5); !errors.Is(err, errs.BadConfig) {
+		t.Fatalf("NodeAt(5) = %v, want BadConfig", err)
+	}
+	if err := c.InjectNodeDrain(0, 0); !errors.Is(err, errs.BadConfig) {
+		t.Fatalf("zero-duration drain = %v, want BadConfig", err)
+	}
+	if err := c.InjectNodeCrash(0, sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectNodeCrash(0, sim.Second); !errors.Is(err, errs.BadState) {
+		t.Fatalf("double crash = %v, want BadState", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import "sort"
+
+// ring is the consistent-hash ECMP table: every member owns vnodesPerMember
+// pseudo-random points on a 64-bit ring, and a flow hash maps to the first
+// point clockwise from it. Flow affinity follows directly (the same hash
+// always lands on the same point), and membership churn has bounded blast
+// radius: removing a member only remaps the hash ranges its own points
+// covered — in expectation 1/N of flows, ≤ 2/N with the vnode counts used
+// here — instead of reshuffling everything the way modular hashing would.
+//
+// Failover is handled at lookup time, not by rebuilding the ring: points of
+// ineligible members (route withdrawn, crashed, admin down) are walked over
+// to the next eligible point. Keeping dead members' points in place means
+// recovery restores the exact pre-failure assignment.
+
+// ringPoint is one vnode: a position on the hash ring owned by a member.
+type ringPoint struct {
+	hash   uint64
+	member int32
+}
+
+type ring struct {
+	points []ringPoint // sorted by hash
+	vnodes int
+}
+
+// mix64 is a splitmix64-style finalizer used to place vnodes and spread
+// flow hashes around the ring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func newRing(vnodesPerMember int) *ring {
+	return &ring{vnodes: vnodesPerMember}
+}
+
+// add inserts member's vnodes. Point positions depend only on the member
+// index and vnode ordinal, so rings built with the same membership are
+// identical regardless of construction order.
+func (r *ring) add(member int) {
+	for v := 0; v < r.vnodes; v++ {
+		h := mix64(uint64(member)<<32 | uint64(v) | 0xec3f<<48)
+		r.points = append(r.points, ringPoint{hash: h, member: int32(member)})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+}
+
+// lookup maps flow hash h to (home, owner): home is the member the ring
+// assigns with full membership; owner is the first eligible member walking
+// clockwise from h (-1 when no member is eligible). home == owner in the
+// healthy case; they differ exactly for the flows remapped by a failure.
+func (r *ring) lookup(h uint64, eligible func(member int) bool) (home, owner int) {
+	n := len(r.points)
+	if n == 0 {
+		return -1, -1
+	}
+	h = mix64(h)
+	i := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	if i == n {
+		i = 0 // wrap
+	}
+	home = int(r.points[i].member)
+	for k := 0; k < n; k++ {
+		p := r.points[(i+k)%n]
+		if eligible(int(p.member)) {
+			return home, int(p.member)
+		}
+	}
+	return home, -1
+}

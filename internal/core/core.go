@@ -35,6 +35,10 @@ import (
 // NodeConfig parameterizes an Albatross server.
 type NodeConfig struct {
 	Seed uint64
+	// Engine, when non-nil, drives the node on a shared external engine —
+	// the multi-node cluster case, where N nodes advance on one virtual
+	// clock. Nil creates a private engine.
+	Engine *sim.Engine
 	// Server describes the hardware (zero value: production dual-NUMA).
 	Server pod.ServerConfig
 	// Cache is the per-NUMA L3 geometry (zero value: DefaultL3).
@@ -99,8 +103,12 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	engine := cfg.Engine
+	if engine == nil {
+		engine = sim.NewEngine()
+	}
 	n := &Node{
-		Engine: sim.NewEngine(),
+		Engine: engine,
 		Server: server,
 		cfg:    cfg,
 		addrs:  flowtable.NewAddrSpace(),
@@ -179,9 +187,12 @@ type pktCtx struct {
 	bytes   int
 	t0      sim.Time
 	meta    packet.Meta
+	cost    sim.Duration
 	drop    bool
 	class   nicsim.Class
 	queueAt sim.Time
+	core    int32 // core chosen by the dispatch stage
+	stage   int8  // pipeline chain slot currently holding the packet
 	viaPLB  bool
 	split   bool
 	payID   uint64
@@ -201,6 +212,7 @@ type PodRuntime struct {
 	cfg     PodConfig
 	rng     *sim.Rand
 	mode    pod.Mode // current mode; may change via FallbackToRSS
+	pipe    Pipeline // the staged ingress chain (see pipeline.go)
 	payload *nicsim.PayloadBuffer
 	nextPay uint64
 
@@ -304,6 +316,7 @@ func (n *Node) AddPod(cfg PodConfig) (*PodRuntime, error) {
 		cfg:         cfg,
 		rng:         sim.NewRand(n.cfg.Seed ^ uint64(p.ID)<<32 ^ 0xA1BA),
 		mode:        cfg.Spec.Mode,
+		pipe:        newPipeline(cfg.Spec.Mode),
 		Latency:     stats.NewLatencyHistogram(),
 		CPULatency:  stats.NewLatencyHistogram(),
 		TxPerTenant: make(map[uint32]uint64),
@@ -348,8 +361,10 @@ func payloadID(m packet.Meta) uint64 {
 func (pr *PodRuntime) Mode() pod.Mode { return pr.mode }
 
 // FallbackToRSS dynamically switches the pod from PLB to RSS mode (paper
-// §4.1 item 5: the last-resort HOL remediation). New packets are hashed by
-// flow; packets already in flight drain through the reorder engine.
+// §4.1 item 5: the last-resort HOL remediation) by swapping the dispatch
+// stage of the ingress chain. New packets are hashed by flow; packets
+// already in flight keep their chain positions and drain through the
+// reorder engine.
 func (pr *PodRuntime) FallbackToRSS() error {
 	if pr.mode == pod.ModeRSS {
 		return nil
@@ -362,6 +377,7 @@ func (pr *PodRuntime) FallbackToRSS() error {
 		pr.RSS = eng
 	}
 	pr.mode = pod.ModeRSS
+	pr.pipe.stages[stageDispatch] = rssDispatchStage{}
 	pr.Fallbacks++
 	return nil
 }
@@ -390,23 +406,20 @@ func (pr *PodRuntime) putCtx(c *pktCtx) {
 	pr.ctxFree = append(pr.ctxFree, c)
 }
 
-// dispatchEvent and egressEvent are the NIC-latency engine callbacks in arg
-// form; the pktCtx carries its PodRuntime so no closure is needed.
-func dispatchEvent(arg any) {
-	c := arg.(*pktCtx)
-	c.pr.dispatch(c)
-}
-
+// egressEvent completes a packet's egress NIC traversal (the last async
+// hop of the chain).
 func egressEvent(arg any) {
 	c := arg.(*pktCtx)
 	pr := c.pr
 	pr.Tx++
 	pr.TxPerTenant[c.flow.VNI]++
 	pr.Latency.Record(int64(pr.node.Engine.Now().Sub(c.t0)))
+	pr.pipe.exitHere(c)
 	pr.putCtx(c)
 }
 
-// Inject runs one packet through the pod's full path.
+// Inject runs one packet through the pod's full path: the node-level gates
+// (uplink state, pod lifecycle), then the staged ingress chain.
 func (pr *PodRuntime) Inject(f workload.Flow, bytes int) {
 	n := pr.node
 
@@ -439,51 +452,15 @@ func (pr *PodRuntime) Inject(f workload.Flow, bytes int) {
 		return
 	}
 
-	now := n.Engine.Now()
 	pr.Rx++
-
-	class, _ := pr.Classifier.ClassifyFlow(f.Tuple)
-
-	// Priority packets skip overload protection and the data path: they go
-	// straight through the priority queues to the ctrl cores.
-	if class == nicsim.ClassPriority {
-		pr.PriorityRx++
-		rt := n.cfg.NIC.RoundTrip(nicsim.ClassPriority)
-		t0 := now
-		n.Engine.After(rt, func() {
-			pr.PriorityTx++
-			pr.Latency.Record(int64(n.Engine.Now().Sub(t0)))
-		})
-		return
-	}
-
-	// Gateway overload protection in the NIC pipeline.
-	if n.Limiter != nil {
-		if n.Limiter.Process(f.VNI, now) == gop.VerdictDrop {
-			pr.NICDrops++
-			return
-		}
-	}
 
 	ctx := pr.getCtx()
 	ctx.pr = pr
 	ctx.flow = f
 	ctx.bytes = bytes
-	ctx.t0 = now
-	ctx.class = class
+	ctx.t0 = n.Engine.Now()
 
-	// Header-payload split: park the payload in the NIC buffer; only the
-	// headers (plus meta) cross PCIe.
-	if pr.payload != nil && class == nicsim.ClassPLB && bytes > headerSplitBytes {
-		ctx.split = true
-		pr.nextPay++
-		ctx.payID = pr.nextPay // provisional; rekeyed to meta at dispatch
-		pr.PCIeRxBytes += headerSplitBytes
-	} else {
-		pr.PCIeRxBytes += uint64(bytes) + packet.MetaLen
-	}
-
-	n.Engine.AfterArg(n.cfg.NIC.IngressLatency(class), dispatchEvent, ctx)
+	pr.pipe.run(pr, ctx, stageClassify)
 }
 
 // serviceCost computes the packet's CPU demand and drop verdict.
@@ -499,62 +476,21 @@ func (pr *PodRuntime) serviceCost(f workload.Flow) (sim.Duration, bool) {
 	return sim.Duration(cost), res.Drop
 }
 
-func (pr *PodRuntime) dispatch(ctx *pktCtx) {
-	cost, drop := pr.serviceCost(ctx.flow)
-	ctx.drop = drop
-	ctx.queueAt = pr.node.Engine.Now()
-
-	switch {
-	case pr.mode == pod.ModePLB && pr.PLB != nil:
-		core, meta, ok := pr.PLB.Dispatch(ctx.flow.Tuple.Hash())
-		if !ok {
-			pr.PLBDrops++
-			pr.putCtx(ctx)
-			return
-		}
-		if pr.rxLossHit(core) {
-			// RX DMA loss after dispatch: the FIFO entry stays behind and
-			// must wait out the reorder timeout (a real HOL source).
-			pr.RxLost++
-			pr.putCtx(ctx)
-			return
-		}
-		if ctx.split {
-			meta.Flags |= packet.MetaFlagHeaderOnly
-			ctx.payID = payloadID(meta)
-			pr.payload.Store(ctx.payID, ctx.bytes-headerSplitBytes)
-		}
-		ctx.meta = meta
-		ctx.viaPLB = true
-		if !pr.Cores[core].Enqueue(ctx, cost, pr.cpuDoneFn) {
-			// RX queue overflow: the CPU never sees the packet; its FIFO
-			// entry stays until the 100µs timeout (a real HOL source).
-			pr.QueueDrops++
-			pr.putCtx(ctx)
-		}
-	default:
-		q := pr.RSS.Queue(ctx.flow.Tuple)
-		if pr.rxLossHit(q) {
-			pr.RxLost++
-			pr.putCtx(ctx)
-			return
-		}
-		if !pr.Cores[q].Enqueue(ctx, cost, pr.cpuDoneFn) {
-			pr.QueueDrops++
-			pr.putCtx(ctx)
-		}
-	}
-}
-
-// onCPUDone is invoked in virtual time when a core finishes a packet.
+// onCPUDone is invoked in virtual time when a core finishes a packet; it
+// completes the chain's cpu stage.
 func (pr *PodRuntime) onCPUDone(item any) {
 	ctx := item.(*pktCtx)
 	now := pr.node.Engine.Now()
 	pr.CPULatency.Record(int64(now.Sub(ctx.queueAt)))
 
-	if ctx.viaPLB {
-		if ctx.drop {
-			pr.ServiceDrop++
+	if ctx.drop {
+		// Service verdict: the CPU drops the packet. PLB-dispatched drops
+		// release their reorder FIFO entry via the active drop flag (unless
+		// the Fig. 12 ablation disables it, leaking the entry until its
+		// timeout).
+		pr.ServiceDrop++
+		pr.pipe.dropHere(ctx)
+		if ctx.viaPLB {
 			if ctx.split {
 				// Release the parked payload with the packet.
 				pr.payload.Take(ctx.payID)
@@ -570,20 +506,14 @@ func (pr *PodRuntime) onCPUDone(item any) {
 			pr.PLB.Return(nil, meta)
 			return
 		}
-		pr.PLB.Return(ctx, ctx.meta)
-		return
-	}
-
-	// RSS path: no reordering needed.
-	if ctx.drop {
-		pr.ServiceDrop++
 		pr.putCtx(ctx)
 		return
 	}
-	pr.egress(ctx, nicsim.ClassRSS)
+	pr.pipe.resumeNext(pr, ctx)
 }
 
-// onEmission handles packets leaving plb_reorder.
+// onEmission handles packets leaving plb_reorder: it completes the chain's
+// reorder stage.
 func (pr *PodRuntime) onEmission(em plb.Emission) {
 	ctx, ok := em.Item.(*pktCtx)
 	if !ok || ctx == nil {
@@ -596,21 +526,12 @@ func (pr *PodRuntime) onEmission(em plb.Emission) {
 		// and emission — drop the header.
 		if !pr.payload.Take(ctx.payID) {
 			pr.HeaderDrops++
+			pr.pipe.dropHere(ctx)
 			pr.putCtx(ctx)
 			return
 		}
 	}
-	pr.egress(ctx, nicsim.ClassPLB)
-}
-
-func (pr *PodRuntime) egress(ctx *pktCtx, class nicsim.Class) {
-	n := pr.node
-	if ctx.split {
-		pr.PCIeTxBytes += headerSplitBytes
-	} else {
-		pr.PCIeTxBytes += uint64(ctx.bytes) + packet.MetaLen
-	}
-	n.Engine.AfterArg(n.cfg.NIC.EgressLatency(class), egressEvent, ctx)
+	pr.pipe.resumeNext(pr, ctx)
 }
 
 // UtilSamplers returns one utilization sampler per data core.

@@ -107,6 +107,9 @@ func (pr *PodRuntime) onLost(item any) {
 	if ctx.split {
 		pr.payload.Take(ctx.payID)
 	}
+	// Charge the loss to whichever async stage held the packet (probes never
+	// enter the chain, so only data-path contexts reach here).
+	pr.pipe.dropHere(ctx)
 	pr.putCtx(ctx)
 }
 

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"albatross/internal/gop"
+	"albatross/internal/nicsim"
+	"albatross/internal/packet"
+	"albatross/internal/pod"
+	"albatross/internal/stats"
+)
+
+// This file is the staged ingress pipeline: the pod's packet path
+// (classify → GOP → dispatch → CPU → reorder → egress, mirroring Fig. 1)
+// expressed as a chain of composable Stages instead of one monolithic
+// dispatch function. Each chain slot carries a stats.StageCounter, so
+// per-stage conservation (In == Out + Drops once drained) is observable
+// and testable; the PLB-vs-RSS branching lives in which dispatch Stage
+// occupies the chain slot, not in hardcoded switches.
+//
+// Stages are stateless singletons — all per-packet state rides the pooled
+// pktCtx and all per-pod state lives on the PodRuntime — so the chain adds
+// no allocations to the hot path. Asynchronous hops (NIC DMA latency, CPU
+// service time, reorder parking) return StageConsumed; the event that
+// completes the hop re-enters the chain via resumeNext, which credits the
+// stage's Out counter so conservation accounting survives the async
+// boundary. A packet lost while parked inside an async stage is charged to
+// that stage by dropHere (see onLost in faultops.go).
+
+// StageVerdict is a Stage's disposition of one packet.
+type StageVerdict uint8
+
+const (
+	// StageNext passes the packet to the next stage synchronously.
+	StageNext StageVerdict = iota
+	// StageConsumed means the stage took ownership: the packet continues
+	// (or terminates) later via resumeNext / dropHere / an exit event.
+	StageConsumed
+	// StageDrop terminates the packet; the stage already did its drop
+	// bookkeeping (counter + context release).
+	StageDrop
+)
+
+// Stage is one slot of the ingress pipeline.
+type Stage interface {
+	// Name is the stage's counter label.
+	Name() string
+	// Process runs the packet through the stage.
+	Process(pr *PodRuntime, ctx *pktCtx) StageVerdict
+}
+
+// Chain slot indices. The chain has a fixed shape for both load-balancing
+// modes (the reorder stage passes RSS packets through untouched) so that
+// in-flight packets keep valid stage indices when FallbackToRSS swaps the
+// dispatch slot mid-run.
+const (
+	stageClassify = iota
+	stageGOP
+	stageIngress
+	stageDispatch
+	stageCPU
+	stageReorder
+	stageEgress
+	numStages
+)
+
+// Pipeline is a pod's stage chain plus per-stage conservation counters.
+type Pipeline struct {
+	stages   [numStages]Stage
+	counters [numStages]stats.StageCounter
+}
+
+// newPipeline builds the chain for the pod's initial mode.
+func newPipeline(mode pod.Mode) Pipeline {
+	p := Pipeline{stages: [numStages]Stage{
+		classifyStage{}, gopStage{}, ingressStage{},
+		plbDispatchStage{}, cpuStage{}, reorderStage{}, egressStage{},
+	}}
+	if mode == pod.ModeRSS {
+		p.stages[stageDispatch] = rssDispatchStage{}
+	}
+	for i := range p.counters {
+		p.counters[i].Name = p.stages[i].Name()
+	}
+	// The dispatch slot is mode-dependent; give its counter a stable name
+	// so FallbackToRSS does not rename mid-run counters.
+	p.counters[stageDispatch].Name = "dispatch"
+	return p
+}
+
+// run advances ctx through the chain starting at stage `from`.
+func (p *Pipeline) run(pr *PodRuntime, ctx *pktCtx, from int) {
+	for i := from; i < numStages; i++ {
+		ctx.stage = int8(i)
+		p.counters[i].In++
+		switch p.stages[i].Process(pr, ctx) {
+		case StageNext:
+			p.counters[i].Out++
+		case StageConsumed:
+			return
+		case StageDrop:
+			p.counters[i].Drops++
+			return
+		}
+	}
+}
+
+// resumeNext completes the async stage ctx is parked in (crediting its Out)
+// and continues the chain at the following stage.
+func (p *Pipeline) resumeNext(pr *PodRuntime, ctx *pktCtx) {
+	i := int(ctx.stage)
+	p.counters[i].Out++
+	p.run(pr, ctx, i+1)
+}
+
+// exitHere completes the pipeline early at ctx's current stage (the
+// priority shortcut): the packet finished, it was not dropped.
+func (p *Pipeline) exitHere(ctx *pktCtx) { p.counters[ctx.stage].Out++ }
+
+// dropHere charges a drop to the async stage ctx is parked in.
+func (p *Pipeline) dropHere(ctx *pktCtx) { p.counters[ctx.stage].Drops++ }
+
+// Stages returns the per-stage conservation counters in chain order.
+func (pr *PodRuntime) Stages() []stats.StageCounter { return pr.pipe.counters[:] }
+
+// classifyStage runs pkt_dir classification. Priority packets (BFD, BGP,
+// probes' control plane) exit here: they skip overload protection and the
+// data path, riding the priority queues to the ctrl cores.
+type classifyStage struct{}
+
+func (classifyStage) Name() string { return "classify" }
+
+func (classifyStage) Process(pr *PodRuntime, ctx *pktCtx) StageVerdict {
+	class, _ := pr.Classifier.ClassifyFlow(ctx.flow.Tuple)
+	ctx.class = class
+	if class == nicsim.ClassPriority {
+		pr.PriorityRx++
+		n := pr.node
+		n.Engine.AfterArg(n.cfg.NIC.RoundTrip(nicsim.ClassPriority), priorityDoneEvent, ctx)
+		return StageConsumed
+	}
+	return StageNext
+}
+
+// priorityDoneEvent completes a priority packet's NIC round trip.
+func priorityDoneEvent(arg any) {
+	ctx := arg.(*pktCtx)
+	pr := ctx.pr
+	pr.PriorityTx++
+	pr.Latency.Record(int64(pr.node.Engine.Now().Sub(ctx.t0)))
+	pr.pipe.exitHere(ctx)
+	pr.putCtx(ctx)
+}
+
+// gopStage is gateway overload protection in the NIC pipeline: the
+// two-stage tenant meter hierarchy drops overloading tenants' excess.
+type gopStage struct{}
+
+func (gopStage) Name() string { return "gop" }
+
+func (gopStage) Process(pr *PodRuntime, ctx *pktCtx) StageVerdict {
+	n := pr.node
+	if n.Limiter != nil {
+		if n.Limiter.Process(ctx.flow.VNI, n.Engine.Now()) == gop.VerdictDrop {
+			pr.NICDrops++
+			pr.putCtx(ctx)
+			return StageDrop
+		}
+	}
+	return StageNext
+}
+
+// ingressStage models the NIC ingress pipeline + PCIe DMA: header-payload
+// split accounting and the class-dependent ingress latency.
+type ingressStage struct{}
+
+func (ingressStage) Name() string { return "nic-ingress" }
+
+func (ingressStage) Process(pr *PodRuntime, ctx *pktCtx) StageVerdict {
+	n := pr.node
+	if pr.payload != nil && ctx.class == nicsim.ClassPLB && ctx.bytes > headerSplitBytes {
+		ctx.split = true
+		pr.nextPay++
+		ctx.payID = pr.nextPay // provisional; rekeyed to meta at dispatch
+		pr.PCIeRxBytes += headerSplitBytes
+	} else {
+		pr.PCIeRxBytes += uint64(ctx.bytes) + packet.MetaLen
+	}
+	n.Engine.AfterArg(n.cfg.NIC.IngressLatency(ctx.class), ingressDoneEvent, ctx)
+	return StageConsumed
+}
+
+// ingressDoneEvent fires when the packet lands in host memory.
+func ingressDoneEvent(arg any) {
+	ctx := arg.(*pktCtx)
+	ctx.pr.pipe.resumeNext(ctx.pr, ctx)
+}
+
+// plbDispatchStage is plb_dispatch: compute the service cost and verdict,
+// spray the packet to the least-loaded core, stamp the PLB meta trailer.
+type plbDispatchStage struct{}
+
+func (plbDispatchStage) Name() string { return "plb-dispatch" }
+
+func (plbDispatchStage) Process(pr *PodRuntime, ctx *pktCtx) StageVerdict {
+	cost, drop := pr.serviceCost(ctx.flow)
+	ctx.cost = cost
+	ctx.drop = drop
+	ctx.queueAt = pr.node.Engine.Now()
+
+	core, meta, ok := pr.PLB.Dispatch(ctx.flow.Tuple.Hash())
+	if !ok {
+		pr.PLBDrops++
+		pr.putCtx(ctx)
+		return StageDrop
+	}
+	if pr.rxLossHit(core) {
+		// RX DMA loss after dispatch: the FIFO entry stays behind and
+		// must wait out the reorder timeout (a real HOL source).
+		pr.RxLost++
+		pr.putCtx(ctx)
+		return StageDrop
+	}
+	if ctx.split {
+		meta.Flags |= packet.MetaFlagHeaderOnly
+		ctx.payID = payloadID(meta)
+		pr.payload.Store(ctx.payID, ctx.bytes-headerSplitBytes)
+	}
+	ctx.meta = meta
+	ctx.viaPLB = true
+	ctx.core = int32(core)
+	return StageNext
+}
+
+// rssDispatchStage is the 1st-gen baseline: hash the flow to a core.
+type rssDispatchStage struct{}
+
+func (rssDispatchStage) Name() string { return "rss-dispatch" }
+
+func (rssDispatchStage) Process(pr *PodRuntime, ctx *pktCtx) StageVerdict {
+	cost, drop := pr.serviceCost(ctx.flow)
+	ctx.cost = cost
+	ctx.drop = drop
+	ctx.queueAt = pr.node.Engine.Now()
+
+	q := pr.RSS.Queue(ctx.flow.Tuple)
+	if pr.rxLossHit(q) {
+		pr.RxLost++
+		pr.putCtx(ctx)
+		return StageDrop
+	}
+	ctx.core = int32(q)
+	return StageNext
+}
+
+// cpuStage enqueues the packet on its core's RX queue; the core's service
+// completion resumes the chain.
+type cpuStage struct{}
+
+func (cpuStage) Name() string { return "cpu" }
+
+func (cpuStage) Process(pr *PodRuntime, ctx *pktCtx) StageVerdict {
+	if !pr.Cores[ctx.core].Enqueue(ctx, ctx.cost, pr.cpuDoneFn) {
+		// RX queue overflow: the CPU never sees the packet; its FIFO
+		// entry (if PLB-dispatched) stays until the 100µs timeout — a
+		// real HOL source.
+		pr.QueueDrops++
+		pr.putCtx(ctx)
+		return StageDrop
+	}
+	return StageConsumed
+}
+
+// reorderStage is plb_reorder: PLB-sprayed packets park until their order
+// queue restores per-flow order; RSS packets need no reordering and pass
+// through.
+type reorderStage struct{}
+
+func (reorderStage) Name() string { return "reorder" }
+
+func (reorderStage) Process(pr *PodRuntime, ctx *pktCtx) StageVerdict {
+	if !ctx.viaPLB {
+		return StageNext
+	}
+	pr.PLB.Return(ctx, ctx.meta)
+	return StageConsumed
+}
+
+// egressStage models the egress NIC pipeline: PCIe TX DMA (headers only in
+// split mode) and the class-dependent egress latency.
+type egressStage struct{}
+
+func (egressStage) Name() string { return "nic-egress" }
+
+func (egressStage) Process(pr *PodRuntime, ctx *pktCtx) StageVerdict {
+	n := pr.node
+	class := nicsim.ClassRSS
+	if ctx.viaPLB {
+		class = nicsim.ClassPLB
+	}
+	if ctx.split {
+		pr.PCIeTxBytes += headerSplitBytes
+	} else {
+		pr.PCIeTxBytes += uint64(ctx.bytes) + packet.MetaLen
+	}
+	n.Engine.AfterArg(n.cfg.NIC.EgressLatency(class), egressEvent, ctx)
+	return StageConsumed
+}

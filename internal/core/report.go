@@ -31,6 +31,10 @@ func (n *Node) Report() string {
 	}
 	b.WriteString(t.String())
 
+	for _, pr := range n.pods {
+		fmt.Fprintf(&b, "stages[%s]:\n%s", pr.Pod.Spec.Name, stats.StageTable(pr.Stages()).String())
+	}
+
 	for i, c := range n.caches {
 		fmt.Fprintf(&b, "L3[numa%d]: %v\n", i, c)
 	}

@@ -7,7 +7,7 @@ import "testing"
 // report must be byte-identical across repetitions — the determinism
 // contract extended to fault runs.
 func TestFaultExperimentsPassAndRepeat(t *testing.T) {
-	for _, id := range []string{"faultcore", "faultpod", "faulthol", "faultbgp"} {
+	for _, id := range []string{"faultcore", "faultpod", "faulthol", "faultbgp", "clusterfail"} {
 		e, ok := Find(id)
 		if !ok {
 			t.Fatalf("%s not registered", id)

@@ -55,6 +55,20 @@ const (
 	// detection, then rides the proxy re-advertisement until the session
 	// re-establishes.
 	KindBGPFlap
+	// KindNodeDrain gray-upgrades a whole node: its route is withdrawn
+	// administratively (make-before-break — the cluster re-ECMPs its flows
+	// to survivors first, zero loss), its pods drain, and the node rejoins
+	// Duration later. Requires a NodeTarget (the cluster).
+	KindNodeDrain
+	// KindNodeCrash kills a whole node abruptly: the uplink goes down (BFD
+	// detects after the probe window, blackholing in-flight arrivals), every
+	// pod crashes, and the cluster re-ECMPs the node's flows to survivors.
+	// The node recovers Duration later (0 = never). Requires a NodeTarget.
+	KindNodeCrash
+	// KindUplinkWithdraw administratively withdraws one node's route for
+	// Duration without touching its pods — the operator "drain the uplink"
+	// action. Requires a NodeTarget.
+	KindUplinkWithdraw
 )
 
 // String returns the kind's wire name.
@@ -74,6 +88,12 @@ func (k Kind) String() string {
 		return "rx-loss"
 	case KindBGPFlap:
 		return "bgp-flap"
+	case KindNodeDrain:
+		return "node-drain"
+	case KindNodeCrash:
+		return "node-crash"
+	case KindUplinkWithdraw:
+		return "uplink-withdraw"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -88,6 +108,10 @@ type Fault struct {
 	// the restart/upgrade time. 0 means "use the kind's default" where a
 	// default exists (pod restart) or "permanent" (core failure).
 	Duration sim.Duration
+	// Node indexes the target node within a cluster (node-level kinds, and
+	// pod-level kinds fired against a NodeTarget). Single-node targets
+	// ignore it.
+	Node int
 	// Pod indexes the target pod (in deployment order).
 	Pod int
 	// Core indexes the target core within the pod.
@@ -156,6 +180,26 @@ func (p *Plan) BGPFlap(at, d sim.Duration) *Plan {
 	return p
 }
 
+// NodeDrain schedules a node-level gray upgrade at at: node leaves the
+// ECMP group (make-before-break), drains, and rejoins after d.
+func (p *Plan) NodeDrain(at sim.Duration, node int, d sim.Duration) *Plan {
+	p.Faults = append(p.Faults, Fault{Kind: KindNodeDrain, At: at, Duration: d, Node: node})
+	return p
+}
+
+// NodeCrash schedules an abrupt node crash at at, recovering after d
+// (0 = never).
+func (p *Plan) NodeCrash(at sim.Duration, node int, d sim.Duration) *Plan {
+	p.Faults = append(p.Faults, Fault{Kind: KindNodeCrash, At: at, Duration: d, Node: node})
+	return p
+}
+
+// UplinkWithdraw schedules an administrative route withdrawal on node for d.
+func (p *Plan) UplinkWithdraw(at sim.Duration, node int, d sim.Duration) *Plan {
+	p.Faults = append(p.Faults, Fault{Kind: KindUplinkWithdraw, At: at, Duration: d, Node: node})
+	return p
+}
+
 // Validate checks the plan's static shape (indices are checked against the
 // live node at fire time, since pods may be added after the plan is built).
 func (p *Plan) Validate() error {
@@ -166,7 +210,7 @@ func (p *Plan) Validate() error {
 		if f.Duration < 0 {
 			return fmt.Errorf("faults: fault %d (%v): negative Duration: %w", i, f.Kind, errs.BadConfig)
 		}
-		if f.Pod < 0 || f.Core < 0 || f.Queue < 0 {
+		if f.Node < 0 || f.Pod < 0 || f.Core < 0 || f.Queue < 0 {
 			return fmt.Errorf("faults: fault %d (%v): negative target index: %w", i, f.Kind, errs.BadConfig)
 		}
 		switch f.Kind {
@@ -197,6 +241,12 @@ func (p *Plan) Validate() error {
 			if f.Duration == 0 {
 				return fmt.Errorf("faults: fault %d: flap needs a duration: %w", i, errs.BadConfig)
 			}
+		case KindNodeCrash:
+			// Duration 0 is legal (permanent).
+		case KindNodeDrain, KindUplinkWithdraw:
+			if f.Duration == 0 {
+				return fmt.Errorf("faults: fault %d: %v needs a duration: %w", i, f.Kind, errs.BadConfig)
+			}
 		default:
 			return fmt.Errorf("faults: fault %d: unknown kind %d: %w", i, uint8(f.Kind), errs.BadConfig)
 		}
@@ -204,8 +254,9 @@ func (p *Plan) Validate() error {
 	return nil
 }
 
-// Target is what an injector drives. internal/core's Node implements it;
-// the indirection keeps this package free of a core dependency.
+// Target is what an injector drives for pod-level faults. internal/core's
+// Node implements it; the indirection keeps this package free of a core
+// dependency.
 type Target interface {
 	InjectCoreStall(pod, core int, factor float64, d sim.Duration) error
 	InjectCoreFail(pod, core int, d sim.Duration) error
@@ -213,6 +264,17 @@ type Target interface {
 	InjectReorderStress(pod, queue int, d sim.Duration, holdHeads bool, depthClamp int) error
 	InjectRxLoss(pod, core int, prob float64, d sim.Duration) error
 	InjectBGPFlap(d sim.Duration) error
+}
+
+// NodeTarget is what an injector drives for node-level faults.
+// internal/cluster's Cluster implements it. NodeAt resolves a member node's
+// pod-level Target, so one cluster plan can mix node- and pod-level faults
+// (Fault.Node selects the member for both).
+type NodeTarget interface {
+	InjectNodeCrash(node int, d sim.Duration) error
+	InjectNodeDrain(node int, d sim.Duration) error
+	InjectUplinkWithdraw(node int, d sim.Duration) error
+	NodeAt(node int) (Target, error)
 }
 
 // Event is one injector log entry, recorded when a fault fires.
@@ -224,9 +286,19 @@ type Event struct {
 	Err error
 }
 
+// nodeKind reports whether k is a node-level fault kind.
+func nodeKind(k Kind) bool {
+	return k == KindNodeDrain || k == KindNodeCrash || k == KindUplinkWithdraw
+}
+
 // String renders the event for fault logs; the format is deterministic.
 func (e Event) String() string {
-	s := fmt.Sprintf("t=%v inject %v pod=%d core=%d", sim.Duration(e.At), e.Fault.Kind, e.Fault.Pod, e.Fault.Core)
+	var s string
+	if nodeKind(e.Fault.Kind) {
+		s = fmt.Sprintf("t=%v inject %v node=%d", sim.Duration(e.At), e.Fault.Kind, e.Fault.Node)
+	} else {
+		s = fmt.Sprintf("t=%v inject %v pod=%d core=%d", sim.Duration(e.At), e.Fault.Kind, e.Fault.Pod, e.Fault.Core)
+	}
 	if e.Fault.Duration > 0 {
 		s += fmt.Sprintf(" for %v", e.Fault.Duration)
 	}
@@ -240,7 +312,8 @@ func (e Event) String() string {
 // the target when they fire.
 type Injector struct {
 	engine *sim.Engine
-	target Target
+	target Target     // pod-level target (nil when driving a pure NodeTarget)
+	nodes  NodeTarget // node-level target (nil when driving a single node)
 	events []Event
 }
 
@@ -251,18 +324,37 @@ type firing struct {
 }
 
 // NewInjector validates the plan and arms every fault at now+Fault.At.
-func NewInjector(engine *sim.Engine, target Target, plan *Plan) (*Injector, error) {
+// target must implement Target (a single node), NodeTarget (a cluster), or
+// both. Against a NodeTarget, pod-level faults are resolved through
+// NodeAt(Fault.Node) at fire time.
+func NewInjector(engine *sim.Engine, target any, plan *Plan) (*Injector, error) {
 	if engine == nil || target == nil {
 		return nil, fmt.Errorf("faults: nil engine or target: %w", errs.BadConfig)
 	}
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	inj := &Injector{engine: engine, target: target}
+	inj := &Injector{engine: engine}
+	inj.target, _ = target.(Target)
+	inj.nodes, _ = target.(NodeTarget)
+	if inj.target == nil && inj.nodes == nil {
+		return nil, fmt.Errorf("faults: target %T implements neither Target nor NodeTarget: %w", target, errs.BadConfig)
+	}
 	for _, f := range plan.Faults {
+		if nodeKind(f.Kind) && inj.nodes == nil {
+			return nil, fmt.Errorf("faults: %v needs a NodeTarget, target is %T: %w", f.Kind, target, errs.BadConfig)
+		}
 		engine.AfterArg(f.At, fireFault, &firing{inj: inj, fault: f})
 	}
 	return inj, nil
+}
+
+// podTarget resolves the pod-level target for fault f.
+func (inj *Injector) podTarget(f Fault) (Target, error) {
+	if inj.target != nil {
+		return inj.target, nil
+	}
+	return inj.nodes.NodeAt(f.Node)
 }
 
 func fireFault(arg any) {
@@ -270,20 +362,34 @@ func fireFault(arg any) {
 	inj, f := fr.inj, fr.fault
 	var err error
 	switch f.Kind {
-	case KindCoreStall:
-		err = inj.target.InjectCoreStall(f.Pod, f.Core, f.Factor, f.Duration)
-	case KindCoreFail:
-		err = inj.target.InjectCoreFail(f.Pod, f.Core, f.Duration)
-	case KindPodCrash:
-		err = inj.target.InjectPodCrash(f.Pod, false, f.Duration)
-	case KindPodDrain:
-		err = inj.target.InjectPodCrash(f.Pod, true, f.Duration)
-	case KindReorderStress:
-		err = inj.target.InjectReorderStress(f.Pod, f.Queue, f.Duration, f.HoldHeads, f.DepthClamp)
-	case KindRxLoss:
-		err = inj.target.InjectRxLoss(f.Pod, f.Core, f.Factor, f.Duration)
-	case KindBGPFlap:
-		err = inj.target.InjectBGPFlap(f.Duration)
+	case KindNodeCrash:
+		err = inj.nodes.InjectNodeCrash(f.Node, f.Duration)
+	case KindNodeDrain:
+		err = inj.nodes.InjectNodeDrain(f.Node, f.Duration)
+	case KindUplinkWithdraw:
+		err = inj.nodes.InjectUplinkWithdraw(f.Node, f.Duration)
+	default:
+		var t Target
+		t, err = inj.podTarget(f)
+		if err != nil {
+			break
+		}
+		switch f.Kind {
+		case KindCoreStall:
+			err = t.InjectCoreStall(f.Pod, f.Core, f.Factor, f.Duration)
+		case KindCoreFail:
+			err = t.InjectCoreFail(f.Pod, f.Core, f.Duration)
+		case KindPodCrash:
+			err = t.InjectPodCrash(f.Pod, false, f.Duration)
+		case KindPodDrain:
+			err = t.InjectPodCrash(f.Pod, true, f.Duration)
+		case KindReorderStress:
+			err = t.InjectReorderStress(f.Pod, f.Queue, f.Duration, f.HoldHeads, f.DepthClamp)
+		case KindRxLoss:
+			err = t.InjectRxLoss(f.Pod, f.Core, f.Factor, f.Duration)
+		case KindBGPFlap:
+			err = t.InjectBGPFlap(f.Duration)
+		}
 	}
 	inj.events = append(inj.events, Event{At: inj.engine.Now(), Fault: f, Err: err})
 }

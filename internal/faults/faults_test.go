@@ -2,6 +2,8 @@ package faults
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 
 	"albatross/internal/errs"
@@ -39,6 +41,33 @@ func (r *recTarget) InjectRxLoss(pod, core int, prob float64, d sim.Duration) er
 	return r.rec("rxloss")
 }
 func (r *recTarget) InjectBGPFlap(d sim.Duration) error { return r.rec("flap") }
+
+// recNodeTarget records node-level calls and resolves pod-level targets
+// per member, modeling the cluster shape.
+type recNodeTarget struct {
+	ops   []string
+	nodes []*recTarget
+}
+
+func (r *recNodeTarget) rec(op string, node int) error {
+	r.ops = append(r.ops, fmt.Sprintf("%s@%d", op, node))
+	return nil
+}
+func (r *recNodeTarget) InjectNodeCrash(node int, d sim.Duration) error {
+	return r.rec("nodecrash", node)
+}
+func (r *recNodeTarget) InjectNodeDrain(node int, d sim.Duration) error {
+	return r.rec("nodedrain", node)
+}
+func (r *recNodeTarget) InjectUplinkWithdraw(node int, d sim.Duration) error {
+	return r.rec("withdraw", node)
+}
+func (r *recNodeTarget) NodeAt(node int) (Target, error) {
+	if node < 0 || node >= len(r.nodes) {
+		return nil, errors.New("no such node")
+	}
+	return r.nodes[node], nil
+}
 
 func TestInjectorFiresPlanInOrder(t *testing.T) {
 	eng := sim.NewEngine()
@@ -129,9 +158,69 @@ func TestPlanValidate(t *testing.T) {
 	}
 }
 
+func TestNodeTargetRouting(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := &recNodeTarget{nodes: []*recTarget{{}, {}}}
+	plan := (&Plan{}).
+		NodeCrash(1*sim.Millisecond, 0, 10*sim.Millisecond).
+		NodeDrain(2*sim.Millisecond, 1, 10*sim.Millisecond).
+		UplinkWithdraw(3*sim.Millisecond, 0, 10*sim.Millisecond)
+	// Pod-level faults against a NodeTarget resolve through NodeAt(Node).
+	plan.Faults = append(plan.Faults,
+		Fault{Kind: KindPodCrash, At: 4 * sim.Millisecond, Node: 1, Pod: 0},
+		Fault{Kind: KindPodCrash, At: 5 * sim.Millisecond, Node: 7, Pod: 0}) // bad node
+	inj, err := NewInjector(eng, tgt, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(10 * sim.Millisecond)
+
+	want := []string{"nodecrash@0", "nodedrain@1", "withdraw@0"}
+	if fmt.Sprint(tgt.ops) != fmt.Sprint(want) {
+		t.Fatalf("node ops = %v, want %v", tgt.ops, want)
+	}
+	if fmt.Sprint(tgt.nodes[1].ops) != fmt.Sprint([]string{"crash"}) {
+		t.Fatalf("node 1 pod ops = %v, want [crash]", tgt.nodes[1].ops)
+	}
+	if len(tgt.nodes[0].ops) != 0 {
+		t.Fatalf("node 0 got pod ops %v", tgt.nodes[0].ops)
+	}
+	log := inj.Log()
+	if len(log) != 5 {
+		t.Fatalf("log has %d events, want 5", len(log))
+	}
+	if log[4].Err == nil {
+		t.Fatal("out-of-range NodeAt resolution did not surface as event error")
+	}
+	if s := log[0].String(); !strings.Contains(s, "node=0") {
+		t.Fatalf("node event rendering %q lacks node index", s)
+	}
+}
+
+func TestNodeKindsNeedNodeTarget(t *testing.T) {
+	_, err := NewInjector(sim.NewEngine(), &recTarget{}, (&Plan{}).NodeCrash(0, 0, 0))
+	if !errors.Is(err, errs.BadConfig) {
+		t.Fatalf("expected BadConfig for node kind against pod-only target, got %v", err)
+	}
+	bad := []*Plan{
+		(&Plan{}).NodeDrain(0, 0, 0),                       // no duration
+		(&Plan{}).UplinkWithdraw(0, 0, 0),                  // no duration
+		{Faults: []Fault{{Kind: KindNodeCrash, Node: -1}}}, // negative index
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, errs.BadConfig) {
+			t.Fatalf("plan %d: expected BadConfig, got %v", i, err)
+		}
+	}
+	if err := ((&Plan{}).NodeCrash(0, 2, 0)).Validate(); err != nil {
+		t.Fatalf("permanent node crash rejected: %v", err)
+	}
+}
+
 func TestKindStrings(t *testing.T) {
 	kinds := []Kind{KindCoreStall, KindCoreFail, KindPodCrash, KindPodDrain,
-		KindReorderStress, KindRxLoss, KindBGPFlap}
+		KindReorderStress, KindRxLoss, KindBGPFlap,
+		KindNodeDrain, KindNodeCrash, KindUplinkWithdraw}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

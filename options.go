@@ -1,7 +1,10 @@
 package albatross
 
 import (
+	"fmt"
+
 	"albatross/internal/cachesim"
+	"albatross/internal/cluster"
 	"albatross/internal/core"
 	"albatross/internal/errs"
 	"albatross/internal/faults"
@@ -27,44 +30,91 @@ var (
 // CacheConfig is the per-NUMA L3 cache geometry.
 type CacheConfig = cachesim.Config
 
-// Option configures a Node built with New. Options layer over NodeConfig:
-// the struct keeps working, and New(WithSeed(1)) is equivalent to
-// NewNode(NodeConfig{Seed: 1}).
-type Option func(*NodeConfig)
+// Config is the resolved facade configuration: a per-node template plus
+// the deployment width. Options write into it; New and NewCluster read it.
+type Config struct {
+	// Node is the per-server configuration (shared by every cluster member).
+	Node NodeConfig
+	// Nodes is the deployment width: 1 = a single Node (New), >1 = a
+	// multi-node Cluster behind consistent-hash ECMP (NewCluster).
+	Nodes int
+}
 
-// WithSeed sets the node's master RNG seed.
+// Option configures a deployment built with New or NewCluster. Options
+// layer over the config structs: they keep working, and New(WithSeed(1))
+// is equivalent to NewNode(NodeConfig{Seed: 1}).
+type Option func(*Config)
+
+// WithSeed sets the master RNG seed (per-member seeds derive from it in a
+// cluster).
 func WithSeed(seed uint64) Option {
-	return func(c *NodeConfig) { c.Seed = seed }
+	return func(c *Config) { c.Node.Seed = seed }
 }
 
 // WithServerConfig sets the server hardware description.
 func WithServerConfig(sc ServerConfig) Option {
-	return func(c *NodeConfig) { c.Server = sc }
+	return func(c *Config) { c.Node.Server = sc }
 }
 
 // WithCache sets the per-NUMA L3 cache geometry.
 func WithCache(cc CacheConfig) Option {
-	return func(c *NodeConfig) { c.Cache = cc }
+	return func(c *Config) { c.Node.Cache = cc }
 }
 
 // WithLimiter enables gateway overload protection.
 func WithLimiter(lc LimiterConfig) Option {
-	return func(c *NodeConfig) { c.Limiter = &lc }
+	return func(c *Config) { c.Node.Limiter = &lc }
 }
 
 // WithFaultPlan arms a deterministic fault-injection schedule; fault times
-// are relative to node creation. See FaultPlan.
+// are relative to creation. With NewCluster the plan is cluster-level and
+// may include node-granularity kinds (FaultNodeCrash, FaultNodeDrain,
+// FaultUplinkWithdraw). See FaultPlan.
 func WithFaultPlan(p *FaultPlan) Option {
-	return func(c *NodeConfig) { c.Faults = p }
+	return func(c *Config) { c.Node.Faults = p }
 }
 
-// New creates an Albatross server simulation from functional options.
-func New(opts ...Option) (*Node, error) {
-	var cfg NodeConfig
+// WithNodes sets the deployment width to n gateway servers. New accepts
+// only n ≤ 1; wider deployments are built with NewCluster.
+func WithNodes(n int) Option {
+	return func(c *Config) { c.Nodes = n }
+}
+
+func resolve(opts []Option) Config {
+	var cfg Config
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return core.NewNode(cfg)
+	return cfg
+}
+
+// New creates a single Albatross server simulation from functional options.
+func New(opts ...Option) (*Node, error) {
+	cfg := resolve(opts)
+	if cfg.Nodes > 1 {
+		return nil, fmt.Errorf("albatross: New builds one server; use NewCluster for %d nodes: %w",
+			cfg.Nodes, errs.BadConfig)
+	}
+	return core.NewNode(cfg.Node)
+}
+
+// NewCluster creates a multi-node deployment: WithNodes(n) servers behind
+// consistent-hash ECMP on one shared virtual-time engine, each with a
+// modeled BGP uplink. A WithFaultPlan plan is armed at cluster level, so
+// it may mix node- and pod-granularity faults.
+func NewCluster(opts ...Option) (*Cluster, error) {
+	cfg := resolve(opts)
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 1
+	}
+	plan := cfg.Node.Faults
+	cfg.Node.Faults = nil
+	return cluster.New(cluster.Config{
+		Nodes:  cfg.Nodes,
+		Seed:   cfg.Node.Seed,
+		Node:   cfg.Node,
+		Faults: plan,
+	})
 }
 
 // Fault-injection types (see internal/faults). A FaultPlan is built with
@@ -105,4 +155,15 @@ const (
 	// FaultBGPFlap takes the BGP uplink down; BFD detects, the proxy
 	// re-advertises.
 	FaultBGPFlap = faults.KindBGPFlap
+	// FaultNodeDrain gray-upgrades a whole cluster member: administrative
+	// route withdrawal first (make-before-break, zero loss), pods drain,
+	// rejoin after Duration. Cluster plans only.
+	FaultNodeDrain = faults.KindNodeDrain
+	// FaultNodeCrash kills a cluster member abruptly; BFD detection bounds
+	// the blackhole window, then flows re-ECMP to survivors. Cluster plans
+	// only.
+	FaultNodeCrash = faults.KindNodeCrash
+	// FaultUplinkWithdraw administratively withdraws one member's route
+	// without touching its pods. Cluster plans only.
+	FaultUplinkWithdraw = faults.KindUplinkWithdraw
 )

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fmt-check ci clean
+.PHONY: all build test vet race bench fmt-check metrics-check ci clean
 
 all: build test
 
@@ -11,7 +11,7 @@ fmt-check:
 
 # The full gate: build, vet, formatting, unit tests, then the race-checked
 # packages. Runs staticcheck too when it is installed.
-ci: build vet fmt-check test race
+ci: build vet fmt-check test race metrics-check
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; staticcheck ./...; \
 	else echo "staticcheck not installed; skipping"; fi
@@ -47,6 +47,21 @@ bench:
 			$$1, $$3, $$5, $$7 } \
 	END { if (n) printf "\n]\n" }' > BENCH_packetpath.json
 	@cat BENCH_packetpath.json
+
+# Determinism gate for the metrics export: the same fixed-seed run, twice,
+# must write byte-for-byte identical Prometheus and JSON snapshots — at any
+# parallelism, on both the single-node and cluster paths.
+metrics-check: build
+	@tmp=$$(mktemp -d); rc=0; \
+	$(GO) run ./cmd/albatross-sim -flows 20000 -rate 1e6 -duration 50ms -seed 7 -metrics-out $$tmp/n1 >/dev/null 2>&1; \
+	$(GO) run ./cmd/albatross-sim -flows 20000 -rate 1e6 -duration 50ms -seed 7 -metrics-out $$tmp/n2 >/dev/null 2>&1; \
+	cmp $$tmp/n1.prom $$tmp/n2.prom && cmp $$tmp/n1.json $$tmp/n2.json || rc=1; \
+	$(GO) run ./cmd/albatross-sim -nodes 3 -flows 20000 -rate 1e6 -duration 50ms -seed 7 -metrics-out $$tmp/c1 >/dev/null 2>&1; \
+	$(GO) run ./cmd/albatross-sim -nodes 3 -flows 20000 -rate 1e6 -duration 50ms -seed 7 -metrics-out $$tmp/c2 >/dev/null 2>&1; \
+	cmp $$tmp/c1.prom $$tmp/c2.prom && cmp $$tmp/c1.json $$tmp/c2.json || rc=1; \
+	rm -rf $$tmp; \
+	if [ $$rc -ne 0 ]; then echo "metrics-check: exports differ across identical runs"; exit 1; fi; \
+	echo "metrics-check: single-node and cluster exports byte-identical"
 
 clean:
 	rm -f BENCH_packetpath.json albatross-bench

@@ -41,6 +41,7 @@ import (
 	"albatross/internal/core"
 	"albatross/internal/eval"
 	"albatross/internal/gop"
+	"albatross/internal/metrics"
 	"albatross/internal/packet"
 	"albatross/internal/plb"
 	"albatross/internal/pod"
@@ -88,6 +89,37 @@ type (
 	// ServerConfig describes the server hardware.
 	ServerConfig = pod.ServerConfig
 )
+
+// Observability types (see DESIGN.md §9).
+type (
+	// Histogram is a log-linear latency histogram (pod latency, per-stage
+	// residency).
+	Histogram = stats.Histogram
+	// MetricsRegistry holds named counter/gauge/histogram series
+	// (Node.RegisterMetrics, Cluster.RegisterMetrics).
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a registry frozen at one instant; exports as
+	// Prometheus text exposition or JSON, byte-identically for a fixed seed.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricLabel is one name=value pair on a metric series.
+	MetricLabel = metrics.Label
+	// FlightRecorder samples packet journeys per pod (PodRuntime.Flight).
+	FlightRecorder = core.FlightRecorder
+	// PacketJourney is one sampled packet's recorded stage timeline.
+	PacketJourney = core.Journey
+	// JourneyStep is one stage visit of a traced packet.
+	JourneyStep = core.TraceStep
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// MetricL builds a metric label.
+func MetricL(key, value string) MetricLabel { return metrics.L(key, value) }
+
+// StageNames returns the pipeline's stage labels in chain order, aligned
+// with PodRuntime.Stages and PodRuntime.StageResidency.
+func StageNames() []string { return core.StageNames() }
 
 // Cluster types.
 type (

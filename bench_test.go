@@ -149,6 +149,42 @@ func BenchmarkPacketPath(b *testing.B) {
 	}
 }
 
+// BenchmarkPacketPathTraced is BenchmarkPacketPath with the flight
+// recorder tracing EVERY packet (TraceSampleEvery=1) instead of the
+// default 1-in-1024 sampling: the worst-case observability overhead. Must
+// stay 0 allocs/op — journeys come from the recorder's pool.
+func BenchmarkPacketPathTraced(b *testing.B) {
+	node, err := NewNode(NodeConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows := GenerateFlows(10000, 100, 1)
+	pod, err := node.AddPod(PodConfig{
+		Spec:             PodSpec{Name: "gw", Service: VPCVPC, DataCores: 8, CtrlCores: 2},
+		Flows:            ServiceFlows(flows, 0),
+		TraceSampleEvery: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pod.Inject(flows[i%len(flows)], 256)
+		if i%256 == 255 {
+			node.Engine.Run()
+		}
+	}
+	node.Engine.Run()
+	b.StopTimer()
+	if pod.Tx == 0 {
+		b.Fatal("no packets emitted")
+	}
+	if pod.Flight().Sampled == 0 {
+		b.Fatal("flight recorder sampled nothing")
+	}
+}
+
 // BenchmarkClusterPath measures the same path through a 3-node cluster:
 // consistent-hash ECMP spray plus the full per-node staged pipeline. The
 // delta over BenchmarkPacketPath is the cluster layer's per-packet cost.

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"albatross/internal/eval"
+	"albatross/internal/metrics"
 )
 
 // jsonRecord is the -json per-experiment entry for tracking the perf
@@ -50,6 +51,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "experiment worker-pool size")
 		jsonOut  = flag.String("json", "", "write per-experiment wall time and pass/fail to this file")
+		metOut   = flag.String("metrics", "", "write the metrics snapshots of experiments that take one to this JSON file")
 	)
 	flag.Parse()
 
@@ -108,6 +110,29 @@ func main() {
 		data = append(data, '\n')
 		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+			os.Exit(2)
+		}
+	}
+
+	if *metOut != "" {
+		type metRecord struct {
+			ID      string            `json:"id"`
+			Metrics *metrics.Snapshot `json:"metrics"`
+		}
+		mrecs := make([]metRecord, 0, len(recs))
+		for _, rec := range recs {
+			if rec.Result.Metrics != nil {
+				mrecs = append(mrecs, metRecord{ID: rec.Exp.ID, Metrics: rec.Result.Metrics})
+			}
+		}
+		data, err := json.MarshalIndent(mrecs, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding -metrics output: %v\n", err)
+			os.Exit(2)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*metOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *metOut, err)
 			os.Exit(2)
 		}
 	}

@@ -10,18 +10,19 @@ import (
 
 // clusterRun carries the parsed flags into the multi-node path.
 type clusterRun struct {
-	opts      []albatross.Option
-	podCfg    albatross.PodConfig
-	svcName   string
-	cores     int
-	flows     int
-	tenants   int
-	rate      float64
-	duration  time.Duration
-	seed      uint64
-	autoFB    bool
-	report    bool
-	hasFaults bool
+	opts       []albatross.Option
+	podCfg     albatross.PodConfig
+	svcName    string
+	cores      int
+	flows      int
+	tenants    int
+	rate       float64
+	duration   time.Duration
+	seed       uint64
+	autoFB     bool
+	report     bool
+	hasFaults  bool
+	metricsOut string
 }
 
 // runCluster is the -nodes > 1 path: N servers behind consistent-hash
@@ -90,5 +91,12 @@ func runCluster(cr clusterRun) {
 	if cr.report {
 		fmt.Println()
 		fmt.Print(cl.Report())
+	}
+	if cr.metricsOut != "" {
+		if err := writeMetrics(cr.metricsOut, cl.Metrics()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  metrics     %s.prom %s.json\n", cr.metricsOut, cr.metricsOut)
 	}
 }

@@ -42,6 +42,7 @@ func main() {
 		pcapOut  = flag.String("pcap", "", "write a sample of generated traffic (first 1000 packets) to this pcap file")
 		autoFB   = flag.Bool("autofallback", false, "arm the reorder-timeout watchdog that falls back PLB->RSS")
 		nodes    = flag.Int("nodes", 1, "gateway servers; >1 deploys a cluster behind consistent-hash ECMP")
+		metrics  = flag.String("metrics-out", "", "write the final metrics snapshot to PREFIX.prom and PREFIX.json")
 	)
 	var ff faultFlag
 	flag.Var(&ff, "fault", "inject a fault, repeatable: kind@time[,k=v...] e.g. corefail@20ms,core=2,dur=10ms (see cmd/albatross-sim/faults.go)")
@@ -82,6 +83,7 @@ func main() {
 			svcName: *svcName, cores: *cores, flows: *flows,
 			tenants: *tenants, rate: *rate, duration: *duration, seed: *seed,
 			autoFB: *autoFB, report: *report, hasFaults: len(ff.plan.Faults) > 0,
+			metricsOut: *metrics,
 		})
 		return
 	}
@@ -176,6 +178,26 @@ func main() {
 		fmt.Println()
 		fmt.Print(node.Report())
 	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, node.Metrics()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  metrics     %s.prom %s.json\n", *metrics, *metrics)
+	}
+}
+
+// writeMetrics exports one snapshot as both Prometheus text exposition and
+// JSON. Both files are byte-identical across repeat runs at a fixed seed.
+func writeMetrics(prefix string, snap *albatross.MetricsSnapshot) error {
+	if err := os.WriteFile(prefix+".prom", []byte(snap.Prometheus()), 0o644); err != nil {
+		return err
+	}
+	j, err := snap.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(prefix+".json", j, 0o644)
 }
 
 // pcapCapture writes the first maxPkts generated packets, re-materialized

@@ -27,6 +27,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Probe totals across all load points, for the probe-vs-pipeline
+	// comparison at the end.
+	var probeIn, probeOut albatross.Duration
+	var probeN int
+
 	// Drive the pod at three load points and probe at each.
 	for _, load := range []float64{0.2, 0.6, 0.9} {
 		capacityMpps := 4 * 0.9 // rough per-core Mpps at this scale
@@ -67,7 +72,55 @@ func main() {
 		fmt.Printf("load %.0f%%: nic-in=%v queue=%v service=%v nic-out=%v total=%v (%d probes)\n",
 			load*100, agg.NICIngress/d, agg.QueueWait/d, agg.Service/d,
 			agg.NICEgress/d, agg.Total/d, probes)
+		probeIn += agg.NICIngress
+		probeOut += agg.NICEgress
+		probeN += probes
 	}
+
+	// The pipeline's always-on residency histograms measure the same NIC
+	// stages the probes do — from the data traffic itself, no probes needed.
+	// Probes ride the RSS class, which skips the NIC's PLB module; data
+	// packets pay it (Tab. 4: +0.05µs RX, +0.35µs TX). Adding that class
+	// delta, the two instruments must agree to within the histogram's
+	// resolution.
+	const plbDeltaRX, plbDeltaTX = 50 * albatross.Nanosecond, 350 * albatross.Nanosecond
+	resid := pod.StageResidency()
+	names := albatross.StageNames()
+	stage := func(name string) *albatross.Histogram {
+		for i, s := range names {
+			if s == name {
+				return resid[i]
+			}
+		}
+		log.Fatalf("no stage %q", name)
+		return nil
+	}
+	relErr := resid[0].RelativeError()
+
+	fmt.Printf("\nprobe vs pipeline histograms (probe = RSS class + PLB delta):\n")
+	fmt.Printf("  %-12s %10s %12s %12s %8s\n", "stage", "probe", "adjusted", "pipeline", "diff")
+	for _, row := range []struct {
+		name  string
+		probe albatross.Duration
+		delta albatross.Duration
+	}{
+		{"nic-ingress", probeIn / albatross.Duration(probeN), plbDeltaRX},
+		{"nic-egress", probeOut / albatross.Duration(probeN), plbDeltaTX},
+	} {
+		adjusted := float64(row.probe + row.delta)
+		pipeline := stage(row.name).Mean()
+		diff := (adjusted - pipeline) / pipeline
+		if diff < 0 {
+			diff = -diff
+		}
+		fmt.Printf("  %-12s %10v %12.2fµs %12.2fµs %7.2f%%\n",
+			row.name, row.probe, adjusted/1000, pipeline/1000, diff*100)
+		if diff > relErr {
+			log.Fatalf("%s: probe and pipeline disagree beyond histogram error (%.2f%% > %.2f%%)",
+				row.name, diff*100, relErr*100)
+		}
+	}
+	fmt.Printf("  (agreement bound: histogram relative error %.2f%%)\n", relErr*100)
 
 	fmt.Println()
 	fmt.Print(node.Report())

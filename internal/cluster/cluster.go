@@ -16,11 +16,13 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"albatross/internal/core"
 	"albatross/internal/errs"
 	"albatross/internal/faults"
+	"albatross/internal/metrics"
 	"albatross/internal/sim"
 	"albatross/internal/workload"
 )
@@ -411,4 +413,32 @@ func (c *Cluster) Close() error {
 		}
 	}
 	return errAll
+}
+
+// RegisterMetrics registers every member node's metric series into reg,
+// each labeled node=<index>, plus the cluster-level ECMP counters.
+func (c *Cluster) RegisterMetrics(reg *metrics.Registry) {
+	reg.Counter("albatross_cluster_sprayed_packets_total",
+		"Ingress packets offered to the ECMP layer.",
+		func() uint64 { return c.Sprayed })
+	reg.Counter("albatross_cluster_remapped_packets_total",
+		"Packets delivered away from their ring home (failover spillover).",
+		func() uint64 { return c.Remapped })
+	reg.Counter("albatross_cluster_switch_drops_total",
+		"Packets with no eligible member.",
+		func() uint64 { return c.Drops })
+	for _, m := range c.members {
+		label := metrics.L("node", strconv.Itoa(m.Index))
+		m.Node.RegisterMetrics(reg, label)
+		reg.Counter("albatross_cluster_member_rx_packets_total",
+			"Packets ECMP delivered to the member.",
+			func() uint64 { return m.Rx }, label)
+	}
+}
+
+// Metrics builds a fresh registry over the cluster and snapshots it.
+func (c *Cluster) Metrics() *metrics.Snapshot {
+	reg := metrics.New()
+	c.RegisterMetrics(reg)
+	return reg.Snapshot()
 }

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"albatross/internal/metrics"
+	"albatross/internal/sim"
+)
+
+func TestClusterMetricsRollup(t *testing.T) {
+	c, wf := testCluster(t, 3, nil)
+	for i := 0; i < 5000; i++ {
+		c.Inject(wf[i%len(wf)], 512)
+		if i%256 == 0 {
+			c.RunFor(10 * sim.Microsecond)
+		}
+	}
+	c.RunFor(5 * sim.Millisecond)
+
+	snap := c.Metrics()
+	if v, ok := snap.Find("albatross_cluster_sprayed_packets_total"); !ok || v.Value != float64(c.Sprayed) {
+		t.Fatalf("sprayed metric = %+v ok=%v, want %d", v, ok, c.Sprayed)
+	}
+	// Every member contributes node-labeled series, and the per-member rx
+	// counters sum to the spray total (healthy cluster: no switch drops).
+	var rxSum float64
+	for _, m := range c.Members() {
+		v, ok := snap.Find("albatross_cluster_member_rx_packets_total",
+			metrics.L("node", string(rune('0'+m.Index))))
+		if !ok {
+			t.Fatalf("missing member rx series for node %d", m.Index)
+		}
+		rxSum += v.Value
+		if _, ok := snap.Find("albatross_pod_rx_packets_total",
+			metrics.L("node", string(rune('0'+m.Index))),
+			metrics.L("pod", "gw")); !ok {
+			t.Fatalf("missing pod series for node %d", m.Index)
+		}
+	}
+	if rxSum != float64(c.Sprayed) {
+		t.Fatalf("member rx sum %v != sprayed %d", rxSum, c.Sprayed)
+	}
+	// Exposition includes node labels and renders deterministically.
+	p1, p2 := snap.Prometheus(), c.Metrics().Prometheus()
+	if p1 != p2 {
+		t.Fatal("cluster exposition differs between back-to-back snapshots")
+	}
+	if !strings.Contains(p1, `node="2"`) {
+		t.Fatal("exposition missing node label")
+	}
+}

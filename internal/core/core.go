@@ -169,7 +169,20 @@ type PodConfig struct {
 	// PayloadBufferBytes sizes the NIC payload buffer for split mode
 	// (default 64MB). Undersizing it forces header drops on late returns.
 	PayloadBufferBytes int64
+	// TraceSampleEvery samples every Nth injected packet into the flight
+	// recorder (counter-based, deterministic). 0 uses the default (1024);
+	// negative disables tracing entirely.
+	TraceSampleEvery int
+	// TraceRing bounds retained journeys (default 64).
+	TraceRing int
 }
+
+// Flight-recorder defaults: sample one packet in 1024 and retain the last
+// 64 eventful journeys (drops and timeout releases).
+const (
+	defaultTraceSample = 1024
+	defaultTraceRing   = 64
+)
 
 // headerSplitBytes is the PCIe transfer size for a split packet: parsed
 // headers (outer Ethernet/IPv4/UDP/VXLAN + inner stack, ~110B) plus the
@@ -191,12 +204,16 @@ type pktCtx struct {
 	drop    bool
 	class   nicsim.Class
 	queueAt sim.Time
-	core    int32 // core chosen by the dispatch stage
-	stage   int8  // pipeline chain slot currently holding the packet
+	core    int32    // core chosen by the dispatch stage
+	stage   int8     // pipeline chain slot currently holding the packet
+	enterAt sim.Time // when the packet entered its current stage
 	viaPLB  bool
 	split   bool
 	payID   uint64
 	probe   *probeState
+	// trace is the packet's flight-recorder journey; nil for unsampled
+	// packets (the common case — one nil check per stage).
+	trace *Journey
 }
 
 // PodRuntime is a deployed pod's dataplane.
@@ -213,6 +230,7 @@ type PodRuntime struct {
 	rng     *sim.Rand
 	mode    pod.Mode // current mode; may change via FallbackToRSS
 	pipe    Pipeline // the staged ingress chain (see pipeline.go)
+	flight  *FlightRecorder
 	payload *nicsim.PayloadBuffer
 	nextPay uint64
 
@@ -322,6 +340,14 @@ func (n *Node) AddPod(cfg PodConfig) (*PodRuntime, error) {
 		TxPerTenant: make(map[uint32]uint64),
 	}
 	pr.cpuDoneFn = pr.onCPUDone
+	traceEvery := cfg.TraceSampleEvery
+	switch {
+	case traceEvery == 0:
+		traceEvery = defaultTraceSample
+	case traceEvery < 0:
+		traceEvery = 0 // disabled
+	}
+	pr.flight = newFlightRecorder(traceEvery, cfg.TraceRing)
 	if cfg.HeaderSplit {
 		pr.payload = nicsim.NewPayloadBuffer(cfg.PayloadBufferBytes)
 	}
@@ -399,8 +425,19 @@ func (pr *PodRuntime) getCtx() *pktCtx {
 	return &pktCtx{}
 }
 
-// putCtx recycles a data-path context at the end of a packet's life.
+// putCtx recycles a data-path context at the end of a packet's life. Every
+// terminal point of the packet — sync drops inside Process, async drops,
+// egress completion — funnels through here, so this is where a sampled
+// journey closes: a trace that never reached exitHere died in ctx.stage.
 func (pr *PodRuntime) putCtx(c *pktCtx) {
+	if c.trace != nil {
+		j := c.trace
+		j.Core = c.core
+		j.PSN = c.meta.PSN
+		j.OrdQ = c.meta.OrdQ
+		j.ViaPLB = c.viaPLB
+		pr.flight.finish(j, pr.node.Engine.Now())
+	}
 	pr.live--
 	*c = pktCtx{}
 	pr.ctxFree = append(pr.ctxFree, c)
@@ -459,6 +496,13 @@ func (pr *PodRuntime) Inject(f workload.Flow, bytes int) {
 	ctx.flow = f
 	ctx.bytes = bytes
 	ctx.t0 = n.Engine.Now()
+	if j := pr.flight.sample(); j != nil {
+		j.Flow = f
+		j.Bytes = bytes
+		j.T0 = ctx.t0
+		j.Core = -1
+		ctx.trace = j
+	}
 
 	pr.pipe.run(pr, ctx, stageClassify)
 }
@@ -518,6 +562,11 @@ func (pr *PodRuntime) onEmission(em plb.Emission) {
 	ctx, ok := em.Item.(*pktCtx)
 	if !ok || ctx == nil {
 		return
+	}
+	if !em.InOrder && ctx.trace != nil {
+		// The reorder engine gave up waiting and released this packet
+		// best-effort — flag its journey for the flight recorder.
+		ctx.trace.timeout = true
 	}
 	if ctx.split {
 		// Egress reassembly: rejoin the parked payload. The PLB engine only

@@ -62,10 +62,24 @@ const (
 	numStages
 )
 
-// Pipeline is a pod's stage chain plus per-stage conservation counters.
+// stageHistSubBits is the precision of the per-stage residency histograms:
+// 64 sub-buckets per magnitude, relative error <= 1/64 (~1.6%), 32KB per
+// stage. Stage residencies span ns to ms, so log-linear bucketing fits.
+const stageHistSubBits = 6
+
+// Pipeline is a pod's stage chain plus per-stage conservation counters and
+// residency-time histograms.
 type Pipeline struct {
 	stages   [numStages]Stage
 	counters [numStages]stats.StageCounter
+	// resid[i] holds stage i's residency (enter -> leave virtual time) for
+	// every packet that completed the stage, by any verdict. Synchronous
+	// stages record zero (their modeled FPGA latency rides the async NIC
+	// events); async stages (NIC DMA, CPU queue+service, reorder parking)
+	// record the real parked time, so the histograms partition the pod's
+	// end-to-end latency exactly: sum over stages of resid[i].Sum() equals
+	// Latency's sum when nothing drops.
+	resid [numStages]*stats.Histogram
 }
 
 // newPipeline builds the chain for the pod's initial mode.
@@ -79,6 +93,7 @@ func newPipeline(mode pod.Mode) Pipeline {
 	}
 	for i := range p.counters {
 		p.counters[i].Name = p.stages[i].Name()
+		p.resid[i] = stats.NewHistogram(stageHistSubBits)
 	}
 	// The dispatch slot is mode-dependent; give its counter a stable name
 	// so FallbackToRSS does not rename mid-run counters.
@@ -86,40 +101,81 @@ func newPipeline(mode pod.Mode) Pipeline {
 	return p
 }
 
-// run advances ctx through the chain starting at stage `from`.
+// run advances ctx through the chain starting at stage `from`. Stages that
+// complete synchronously occupy zero virtual time — their residency records
+// through the RecordZero fast path; async stages stamp ctx.enterAt and
+// record the parked time when their completion event re-enters the chain.
 func (p *Pipeline) run(pr *PodRuntime, ctx *pktCtx, from int) {
+	now := pr.node.Engine.Now()
 	for i := from; i < numStages; i++ {
 		ctx.stage = int8(i)
+		ctx.enterAt = now
+		if ctx.trace != nil {
+			ctx.trace.enter(int8(i), now)
+		}
 		p.counters[i].In++
 		switch p.stages[i].Process(pr, ctx) {
 		case StageNext:
 			p.counters[i].Out++
+			p.resid[i].RecordZero()
+			if ctx.trace != nil {
+				ctx.trace.leave(now, StepNext)
+			}
 		case StageConsumed:
 			return
 		case StageDrop:
+			// The stage already released ctx (putCtx committed any trace
+			// with a drop verdict); only the aggregate accounting runs here.
 			p.counters[i].Drops++
+			p.resid[i].RecordZero()
 			return
 		}
 	}
 }
 
-// resumeNext completes the async stage ctx is parked in (crediting its Out)
-// and continues the chain at the following stage.
+// resumeNext completes the async stage ctx is parked in (crediting its Out
+// and recording the parked residency) and continues the chain at the
+// following stage.
 func (p *Pipeline) resumeNext(pr *PodRuntime, ctx *pktCtx) {
 	i := int(ctx.stage)
+	now := pr.node.Engine.Now()
 	p.counters[i].Out++
+	p.resid[i].Record(int64(now.Sub(ctx.enterAt)))
+	if ctx.trace != nil {
+		ctx.trace.leave(now, StepNext)
+	}
 	p.run(pr, ctx, i+1)
 }
 
 // exitHere completes the pipeline early at ctx's current stage (the
-// priority shortcut): the packet finished, it was not dropped.
-func (p *Pipeline) exitHere(ctx *pktCtx) { p.counters[ctx.stage].Out++ }
+// priority shortcut and the egress completion): the packet finished, it was
+// not dropped.
+func (p *Pipeline) exitHere(ctx *pktCtx) {
+	i := ctx.stage
+	now := ctx.pr.node.Engine.Now()
+	p.counters[i].Out++
+	p.resid[i].Record(int64(now.Sub(ctx.enterAt)))
+	if ctx.trace != nil {
+		ctx.trace.leave(now, StepExit)
+		ctx.trace.completed = true
+	}
+}
 
-// dropHere charges a drop to the async stage ctx is parked in.
-func (p *Pipeline) dropHere(ctx *pktCtx) { p.counters[ctx.stage].Drops++ }
+// dropHere charges a drop to the async stage ctx is parked in, including
+// its residency up to the moment of death. The trace (if any) commits when
+// the context returns to the pool.
+func (p *Pipeline) dropHere(ctx *pktCtx) {
+	i := ctx.stage
+	p.counters[i].Drops++
+	p.resid[i].Record(int64(ctx.pr.node.Engine.Now().Sub(ctx.enterAt)))
+}
 
 // Stages returns the per-stage conservation counters in chain order.
 func (pr *PodRuntime) Stages() []stats.StageCounter { return pr.pipe.counters[:] }
+
+// StageResidency returns the per-stage residency histograms in chain order
+// (index with the same positions as Stages; labels via StageNames).
+func (pr *PodRuntime) StageResidency() []*stats.Histogram { return pr.pipe.resid[:] }
 
 // classifyStage runs pkt_dir classification. Priority packets (BFD, BGP,
 // probes' control plane) exit here: they skip overload protection and the

@@ -32,7 +32,14 @@ func (n *Node) Report() string {
 	b.WriteString(t.String())
 
 	for _, pr := range n.pods {
-		fmt.Fprintf(&b, "stages[%s]:\n%s", pr.Pod.Spec.Name, stats.StageTable(pr.Stages()).String())
+		st := stats.NewTable("Stage", "In", "Out", "Drops", "InFlight", "p50µs", "p99µs")
+		resid := pr.StageResidency()
+		for i, c := range pr.Stages() {
+			h := resid[i]
+			st.AddRow(c.Name, c.In, c.Out, c.Drops, c.InFlight(),
+				float64(h.Quantile(0.5))/1000, float64(h.Quantile(0.99))/1000)
+		}
+		fmt.Fprintf(&b, "stages[%s]:\n%s", pr.Pod.Spec.Name, st.String())
 	}
 
 	for i, c := range n.caches {

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"albatross/internal/metrics"
 	"albatross/internal/stats"
 )
 
@@ -37,10 +38,16 @@ type Result struct {
 	Title string
 	// Table is the regenerated table/series.
 	Table *stats.Table
+	// Extras are additional tables (e.g. a per-stage latency breakdown
+	// accompanying the headline figure), rendered after Table.
+	Extras []*stats.Table
 	// Notes carry free-form observations (paper-vs-measured commentary).
 	Notes []string
 	// Checks are the shape assertions.
 	Checks []Check
+	// Metrics, when non-nil, is the experiment's final metrics snapshot
+	// (exported by albatross-bench -metrics).
+	Metrics *metrics.Snapshot
 }
 
 // Passed reports whether every check held.
@@ -78,6 +85,10 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
 	if r.Table != nil {
 		b.WriteString(r.Table.String())
+	}
+	for _, t := range r.Extras {
+		b.WriteByte('\n')
+		b.WriteString(t.String())
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)

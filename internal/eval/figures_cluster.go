@@ -38,8 +38,9 @@ func runClusterFail(cfg Config) *Result {
 	}
 	wf := workload.GenerateFlows(nFlows, 100, cfg.Seed)
 	if err := cl.AddPod(core.PodConfig{
-		Spec:  pod.Spec{Name: "gw", Service: service.VPCVPC, DataCores: 4, CtrlCores: 1, Mode: pod.ModePLB},
-		Flows: workload.ServiceFlows(wf, 0),
+		Spec:             pod.Spec{Name: "gw", Service: service.VPCVPC, DataCores: 4, CtrlCores: 1, Mode: pod.ModePLB},
+		Flows:            workload.ServiceFlows(wf, 0),
+		TraceSampleEvery: 128, // flight-record the crash window's casualties
 	}); err != nil {
 		panic(err)
 	}
@@ -85,8 +86,15 @@ func runClusterFail(cfg Config) *Result {
 	}
 	remapFrac := float64(remapped) / float64(len(wf))
 
-	var tx, otherDrops, faultLost, disorderSum uint64
+	var tx, otherDrops, faultLost, disorderSum, deadJourneys, survivorJourneys uint64
 	stagesBalanced := true
+	// Survivor latency breakdown: merge per-stage residency across the
+	// surviving nodes' pods (same precision, so Merge is exact).
+	nStages := len(core.StageNames())
+	survivorResid := make([]*stats.Histogram, nStages)
+	for i := range survivorResid {
+		survivorResid[i] = stats.NewHistogram(6)
+	}
 	for _, m := range cl.Members() {
 		for _, pr := range m.Node.Pods() {
 			tx += pr.Tx
@@ -95,6 +103,12 @@ func runClusterFail(cfg Config) *Result {
 			if m.Index != 1 {
 				s := pr.PLB.Stats()
 				disorderSum += s.EmittedBestEffort
+				for i, h := range pr.StageResidency() {
+					survivorResid[i].Merge(h)
+				}
+				survivorJourneys += pr.Flight().Committed()
+			} else {
+				deadJourneys = pr.Flight().Drops
 			}
 			if _, ok := stats.StageBalance(pr.Stages()); !ok {
 				stagesBalanced = false
@@ -108,8 +122,18 @@ func runClusterFail(cfg Config) *Result {
 		table.AddRow(m.Index, m.State(), m.Rx, pr.Tx, m.Node.Blackholed, pr.FaultLost)
 	}
 	r.Table = table
+	breakdown := stats.NewTable("Stage (survivors)", "Count", "p50 (us)", "p99 (us)")
+	for i, name := range core.StageNames() {
+		h := survivorResid[i]
+		breakdown.AddRow(name, h.Count(),
+			float64(h.Quantile(0.5))/1000, float64(h.Quantile(0.99))/1000)
+	}
+	r.Extras = append(r.Extras, breakdown)
+	r.Metrics = cl.Metrics()
 	r.notef("sprayed=%d remapped-pkts=%d switch-drops=%d blackholed=%d remap-frac=%.3f (flows)",
 		cl.Sprayed, cl.Remapped, cl.Drops, cl.Blackholed(), remapFrac)
+	r.notef("flight recorder: crashed node committed %d dropped journeys, survivors %d (loss lives at the switch, not inside surviving pipelines)",
+		deadJourneys, survivorJourneys)
 
 	r.check("remapped-flow fraction within consistent-hash bound (≤ 2/N)",
 		remapped > 0 && remapFrac <= 2.0/nodes,
@@ -128,5 +152,15 @@ func runClusterFail(cfg Config) *Result {
 		"sprayed=%d accounted=%d", cl.Sprayed, accounted)
 	r.check("per-stage counters balanced after drain", stagesBalanced,
 		"a drained pipeline stage has In != Out+Drops")
+	r.check("survivor NIC-stage residency stays at the healthy Tab. 4 values",
+		survivorResid[stageIndex("nic-ingress")].Max() == int64(3900) &&
+			survivorResid[stageIndex("nic-egress")].Max() == int64(4170),
+		"nic-ingress max %dns, nic-egress max %dns",
+		survivorResid[stageIndex("nic-ingress")].Max(), survivorResid[stageIndex("nic-egress")].Max())
+	// The crash's loss is at the ToR (blackholed) and in the dead node's
+	// in-flight contexts — never inside surviving pipelines. The survivors'
+	// flight recorders sample continuously and must stay empty.
+	r.check("survivors' flight recorders saw no drops or timeout releases",
+		survivorJourneys == 0, "survivor journeys = %d", survivorJourneys)
 	return r
 }

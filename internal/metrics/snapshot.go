@@ -1,0 +1,238 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"strings"
+
+	"albatross/internal/stats"
+)
+
+// quantiles exported for every histogram series.
+var quantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+// HistValue is a histogram series' exported summary.
+type HistValue struct {
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+	Mean  float64 `json:"mean"`
+}
+
+func histValue(h *stats.Histogram) HistValue {
+	return HistValue{
+		Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+		P50: h.Quantile(0.5), P90: h.Quantile(0.9),
+		P99: h.Quantile(0.99), P999: h.Quantile(0.999),
+		Mean: h.Mean(),
+	}
+}
+
+func (v HistValue) quantile(q float64) int64 {
+	switch q {
+	case 0.5:
+		return v.P50
+	case 0.9:
+		return v.P90
+	case 0.99:
+		return v.P99
+	default:
+		return v.P999
+	}
+}
+
+// SeriesValue is one series' frozen state.
+type SeriesValue struct {
+	Labels []Label    `json:"labels,omitempty"`
+	Value  float64    `json:"value,omitempty"`
+	Hist   *HistValue `json:"hist,omitempty"`
+
+	sig string
+}
+
+// FamilyValue is one metric family's frozen state.
+type FamilyValue struct {
+	Name   string        `json:"name"`
+	Help   string        `json:"help"`
+	Kind   string        `json:"kind"`
+	Series []SeriesValue `json:"series"`
+}
+
+// Snapshot is a registry frozen at one instant, fully ordered.
+type Snapshot struct {
+	Families []FamilyValue `json:"families"`
+}
+
+// Snapshot reads every registered series and returns a frozen, ordered
+// copy. Reading is cheap (counters and gauges are closure calls; histogram
+// quantiles scan buckets) and never mutates simulator state.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{Families: make([]FamilyValue, 0, len(r.families))}
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		fv := FamilyValue{Name: f.name, Help: f.help, Kind: f.kind.String(),
+			Series: make([]SeriesValue, 0, len(f.series))}
+		for _, s := range f.series {
+			sv := SeriesValue{Labels: s.labels, sig: s.sig}
+			switch f.kind {
+			case KindCounter:
+				sv.Value = float64(s.counter())
+			case KindGauge:
+				sv.Value = s.gauge()
+			case KindHistogram:
+				h := histValue(s.hist)
+				sv.Hist = &h
+			}
+			fv.Series = append(fv.Series, sv)
+		}
+		sort.Slice(fv.Series, func(i, j int) bool { return fv.Series[i].sig < fv.Series[j].sig })
+		snap.Families = append(snap.Families, fv)
+	}
+	return snap
+}
+
+// formatFloat renders a float the same way on every platform.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promLabels renders a sorted label set (plus an optional extra pair) in
+// exposition syntax: {a="x",b="y"} or the empty string.
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Prometheus renders the snapshot in Prometheus text exposition format.
+// Histograms export as summaries: precomputed quantiles plus _sum/_count.
+func (s *Snapshot) Prometheus() string {
+	var b strings.Builder
+	for _, f := range s.Families {
+		b.WriteString("# HELP ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Help)
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		if f.Kind == KindHistogram.String() {
+			b.WriteString(KindHistogram.promKind())
+		} else {
+			b.WriteString(f.Kind)
+		}
+		b.WriteByte('\n')
+		for _, sv := range f.Series {
+			if sv.Hist == nil {
+				b.WriteString(f.Name)
+				b.WriteString(promLabels(sv.Labels, "", ""))
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(sv.Value))
+				b.WriteByte('\n')
+				continue
+			}
+			for _, q := range quantiles {
+				b.WriteString(f.Name)
+				b.WriteString(promLabels(sv.Labels, "quantile", formatFloat(q)))
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(sv.Hist.quantile(q), 10))
+				b.WriteByte('\n')
+			}
+			b.WriteString(f.Name)
+			b.WriteString("_sum")
+			b.WriteString(promLabels(sv.Labels, "", ""))
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(sv.Hist.Sum, 10))
+			b.WriteByte('\n')
+			b.WriteString(f.Name)
+			b.WriteString("_count")
+			b.WriteString(promLabels(sv.Labels, "", ""))
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(sv.Hist.Count, 10))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON. Families and series keep
+// their snapshot order; label arrays are pre-sorted by key.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Find returns the value of the single series of family name whose labels
+// include every given pair, and whether exactly one matched — a test and
+// report helper, not a query language.
+func (s *Snapshot) Find(name string, labels ...Label) (SeriesValue, bool) {
+	var hit SeriesValue
+	found := 0
+	for _, f := range s.Families {
+		if f.Name != name {
+			continue
+		}
+		for _, sv := range f.Series {
+			if labelsInclude(sv.Labels, labels) {
+				hit = sv
+				found++
+			}
+		}
+	}
+	return hit, found == 1
+}
+
+func labelsInclude(have []Label, want []Label) bool {
+	for _, w := range want {
+		ok := false
+		for _, h := range have {
+			if h.Key == w.Key && h.Value == w.Value {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalJSON renders labels as an ordered {"key":"value"} object (arrays
+// stay deterministic because labels are pre-sorted by key).
+func (l Label) MarshalJSON() ([]byte, error) {
+	type kv struct {
+		Key   string `json:"key"`
+		Value string `json:"value"`
+	}
+	return json.Marshal(kv{l.Key, l.Value})
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// The metrics export path merges and quantiles histograms from arbitrary
+// sources; these tests pin the edge behavior it leans on.
+
+func TestHistogramMergeRejectsDifferentPrecision(t *testing.T) {
+	h6, h8 := NewHistogram(6), NewHistogram(8)
+	h8.Record(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging histograms with different subBits did not panic")
+		}
+	}()
+	h6.Merge(h8)
+}
+
+func TestHistogramMergeEmptyKeepsMinMax(t *testing.T) {
+	h := NewHistogram(8)
+	h.Record(10)
+	h.Record(1000)
+	h.Merge(NewHistogram(8)) // merging an empty histogram must not disturb min/max
+	if h.Min() != 10 || h.Max() != 1000 || h.Count() != 2 {
+		t.Fatalf("after empty merge: min=%d max=%d count=%d", h.Min(), h.Max(), h.Count())
+	}
+	empty := NewHistogram(8)
+	empty.Merge(h)
+	if empty.Min() != 10 || empty.Max() != 1000 || empty.Count() != 2 {
+		t.Fatalf("merge into empty: min=%d max=%d count=%d", empty.Min(), empty.Max(), empty.Count())
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(4)
+	for _, q := range []float64{-1, 0, 0.5, 0.999, 1, 2} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+	if h.RelativeError() != 1.0/16 {
+		t.Fatalf("RelativeError = %v, want 1/16", h.RelativeError())
+	}
+	if h.SubBits() != 4 {
+		t.Fatalf("SubBits = %d, want 4", h.SubBits())
+	}
+}
+
+func TestHistogramTopBucketSaturates(t *testing.T) {
+	h := NewHistogram(1)
+	h.Record(math.MaxInt64) // must land in the last bucket, not index out of range
+	h.Record(math.MaxInt64 - 1)
+	if h.Count() != 2 || h.Max() != math.MaxInt64 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	// Both samples share the saturated bucket; the quantile reports the
+	// bucket's lower bound clamped into [min, max] — never out of range.
+	if q := h.Quantile(1); q < h.Min() || q > h.Max() {
+		t.Fatalf("p100 = %d outside [min, max] = [%d, %d]", q, h.Min(), h.Max())
+	}
+	// A saturated top bucket must still merge cleanly.
+	other := NewHistogram(1)
+	other.Record(math.MaxInt64)
+	h.Merge(other)
+	if h.Count() != 3 {
+		t.Fatalf("post-merge count = %d", h.Count())
+	}
+}
+
+func TestHistogramRecordZeroMatchesRecord(t *testing.T) {
+	a, b := NewHistogram(8), NewHistogram(8)
+	a.Record(0)
+	a.Record(0)
+	a.Record(77)
+	b.RecordZero()
+	b.RecordZero()
+	b.Record(77)
+	if a.Count() != b.Count() || a.Sum() != b.Sum() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatalf("RecordZero diverges from Record(0): %v vs %v", a, b)
+	}
+	for q := 0.0; q <= 1.0; q += 0.25 {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("Quantile(%v): %d vs %d", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
+
+// BenchmarkHistogramRecordZero measures the synchronous-stage fast path.
+func BenchmarkHistogramRecordZero(b *testing.B) {
+	h := NewHistogram(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.RecordZero()
+	}
+	if testing.AllocsPerRun(1000, h.RecordZero) != 0 {
+		b.Fatal("Histogram.RecordZero allocates")
+	}
+}

@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -53,7 +54,7 @@ func (h *Histogram) index(v int64) int {
 		return int(v)
 	}
 	// magnitude = position of the highest set bit above subBits.
-	mag := 63 - leadingZeros64(uint64(v)) - int(h.subBits)
+	mag := 63 - bits.LeadingZeros64(uint64(v)) - int(h.subBits)
 	subIdx := (v >> uint(mag)) & (sub - 1)
 	return (mag+1)<<h.subBits + int(subIdx)
 }
@@ -67,18 +68,6 @@ func (h *Histogram) lowerBound(i int) int64 {
 	mag := i>>h.subBits - 1
 	subIdx := i & (sub - 1)
 	return (int64(sub) + int64(subIdx)) << uint(mag)
-}
-
-func leadingZeros64(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
-	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
 }
 
 // Record adds a value to the histogram. Negative values clamp to zero.
@@ -100,6 +89,28 @@ func (h *Histogram) Record(v int64) {
 		h.max = v
 	}
 }
+
+// RecordZero adds a zero-valued sample. It is Record(0) minus the bucket
+// index computation — the fast path for synchronous pipeline stages, whose
+// residency is always zero virtual time.
+func (h *Histogram) RecordZero() {
+	h.buckets[0]++
+	h.count++
+	if h.min > 0 {
+		h.min = 0
+	}
+	if h.max < 0 {
+		h.max = 0
+	}
+}
+
+// SubBits returns the histogram's precision parameter (sub-buckets per
+// magnitude = 1<<SubBits).
+func (h *Histogram) SubBits() uint { return h.subBits }
+
+// RelativeError returns the worst-case relative quantization error of a
+// recorded value: 1/2^subBits.
+func (h *Histogram) RelativeError() float64 { return 1 / float64(uint64(1)<<h.subBits) }
 
 // Count returns the number of recorded values.
 func (h *Histogram) Count() uint64 { return h.count }

@@ -344,11 +344,17 @@ func TestHistogramString(t *testing.T) {
 	}
 }
 
+// BenchmarkHistogramRecord guards the pipeline's per-stage recording cost:
+// Record must stay allocation-free at any magnitude.
 func BenchmarkHistogramRecord(b *testing.B) {
 	h := NewLatencyHistogram()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Record(int64(i)%100000 + 1)
+	}
+	b.StopTimer()
+	if testing.AllocsPerRun(1000, func() { h.Record(123456) }) != 0 {
+		b.Fatal("Histogram.Record allocates")
 	}
 }
 

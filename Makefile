@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fmt-check metrics-check ci clean
+.PHONY: all build test vet race bench fmt-check metrics-check replay-check ci clean
 
 all: build test
 
@@ -11,7 +11,7 @@ fmt-check:
 
 # The full gate: build, vet, formatting, unit tests, then the race-checked
 # packages. Runs staticcheck too when it is installed.
-ci: build vet fmt-check test race metrics-check
+ci: build vet fmt-check test race metrics-check replay-check
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; staticcheck ./...; \
 	else echo "staticcheck not installed; skipping"; fi
@@ -32,7 +32,7 @@ vet:
 # The race detector slows the eval experiments ~10x, so the default 10m
 # per-package test timeout is not enough headroom.
 race:
-	$(GO) test -race -timeout 30m ./internal/eval/ ./internal/flowtable/ ./internal/cluster/ ./internal/core/
+	$(GO) test -race -timeout 30m ./internal/eval/ ./internal/flowtable/ ./internal/cluster/ ./internal/core/ ./internal/workload/trace/
 
 # Runs the packet-path microbenchmarks (single node and 3-node cluster)
 # and records ns/op, B/op and allocs/op for each as a JSON array in
@@ -62,6 +62,21 @@ metrics-check: build
 	rm -rf $$tmp; \
 	if [ $$rc -ne 0 ]; then echo "metrics-check: exports differ across identical runs"; exit 1; fi; \
 	echo "metrics-check: single-node and cluster exports byte-identical"
+
+# Replay-fidelity gate: record a short fixed-seed cluster run into a trace,
+# replay the trace against a freshly built identical cluster, and require the
+# metrics exports and per-node outcome reports to match byte for byte.
+replay-check: build
+	@tmp=$$(mktemp -d); rc=0; \
+	$(GO) run ./cmd/albatross-sim -nodes 3 -flows 5000 -rate 5e5 -duration 30ms -seed 7 \
+		-record $$tmp/run.trace -metrics-out $$tmp/rec -outcome-out $$tmp/rec.outcome >/dev/null 2>&1; \
+	$(GO) run ./cmd/albatross-sim -nodes 3 -flows 5000 -rate 5e5 -duration 30ms -seed 7 \
+		-replay $$tmp/run.trace -metrics-out $$tmp/rep -outcome-out $$tmp/rep.outcome >/dev/null 2>&1; \
+	cmp $$tmp/rec.prom $$tmp/rep.prom && cmp $$tmp/rec.json $$tmp/rep.json || rc=1; \
+	$(GO) run ./cmd/albatross-sim -replay-diff $$tmp/rec.outcome,$$tmp/rep.outcome >/dev/null || rc=1; \
+	rm -rf $$tmp; \
+	if [ $$rc -ne 0 ]; then echo "replay-check: replay diverged from the recorded run"; exit 1; fi; \
+	echo "replay-check: replayed run byte-identical to the recorded run"
 
 clean:
 	rm -f BENCH_packetpath.json albatross-bench

@@ -27,7 +27,11 @@
 //		Spec:  albatross.PodSpec{Name: "gw0", Service: albatross.VPCInternet, DataCores: 44, CtrlCores: 2},
 //		Flows: albatross.ServiceFlows(flows, 0),
 //	})
-//	src := &albatross.Source{Flows: flows, Rate: albatross.ConstantRate(5e6), Sink: pod.Sink()}
+//	src, _ := albatross.NewSource(
+//		albatross.WithFlows(flows),
+//		albatross.WithRate(albatross.ConstantRate(5e6)),
+//		albatross.WithSink(pod.Sink()),
+//	)
 //	src.Start(node.Engine)
 //	node.RunFor(albatross.Second)
 //	fmt.Println(pod.Tx, pod.Latency.Quantile(0.99))

@@ -185,6 +185,43 @@ func BenchmarkPacketPathTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkPacketPathRecorded is BenchmarkPacketPath with a trace recorder
+// wrapped around the pod sink, capturing every injection into the in-memory
+// schedule. Must stay 0 allocs/op steady-state — the recorder appends
+// value-type events into an amortized-growth slice.
+func BenchmarkPacketPathRecorded(b *testing.B) {
+	node, err := NewNode(NodeConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows := GenerateFlows(10000, 100, 1)
+	pod, err := node.AddPod(PodConfig{
+		Spec:  PodSpec{Name: "gw", Service: VPCVPC, DataCores: 8, CtrlCores: 2},
+		Flows: ServiceFlows(flows, 0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := NewTraceRecorder(node.Engine)
+	sink := rec.WrapSink(pod.Sink())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink(flows[i%len(flows)], 256)
+		if i%256 == 255 {
+			node.Engine.Run()
+		}
+	}
+	node.Engine.Run()
+	b.StopTimer()
+	if pod.Tx == 0 {
+		b.Fatal("no packets emitted")
+	}
+	if rec.Events() != b.N {
+		b.Fatalf("recorded %d events, injected %d", rec.Events(), b.N)
+	}
+}
+
 // BenchmarkClusterPath measures the same path through a 3-node cluster:
 // consistent-hash ECMP spray plus the full per-node staged pipeline. The
 // delta over BenchmarkPacketPath is the cluster layer's per-packet cost.

@@ -23,6 +23,15 @@ type clusterRun struct {
 	report     bool
 	hasFaults  bool
 	metricsOut string
+
+	recordOut   string
+	replayIn    string
+	outcomeOut  string
+	traceDump   string
+	metricsAddr string
+	trigLat     time.Duration
+	trigVNI     int
+	trigFault   bool
 }
 
 // runCluster is the -nodes > 1 path: N servers behind consistent-hash
@@ -43,23 +52,56 @@ func runCluster(cr clusterRun) {
 			m.Node.Pods()[0].EnableAutoFallback(0, 0)
 		}
 	}
-
-	wf := albatross.GenerateFlows(cr.flows, cr.tenants, cr.seed)
-	src := &albatross.Source{
-		Flows: wf,
-		Rate:  albatross.ConstantRate(cr.rate),
-		Seed:  cr.seed + 1,
-		Sink:  cl.Sink(),
+	for _, m := range cl.Members() {
+		armTriggers(m.Node.Pods()[0], cr.trigLat, cr.trigVNI, cr.trigFault)
 	}
-	if err := src.Start(cl.Engine); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	sink := cl.Sink()
+	var rec *albatross.TraceRecorder
+	if cr.recordOut != "" {
+		rec = albatross.NewTraceRecorder(cl.Engine)
+		rec.SetMeta(cr.seed, len(cl.Members()), "albatross-sim cluster run")
+		sink = cl.RecordingSink(rec)
 	}
 
 	wall := time.Now()
-	cl.RunFor(albatross.Duration(cr.duration.Nanoseconds()))
-	src.Stop()
-	cl.RunFor(albatross.Millisecond) // drain in-flight packets
+	if cr.replayIn != "" {
+		tr, err := albatross.ReadTraceFile(cr.replayIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rp, err := albatross.ReplayTraceInto(cl.Engine, tr, sink)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cl.RunFor(albatross.Duration(cr.duration.Nanoseconds()))
+		cl.RunFor(albatross.Millisecond) // drain in-flight packets
+		if !rp.Done() {
+			fmt.Fprintf(os.Stderr, "warning: replay injected %d of %d events; raise -duration\n",
+				rp.Injected, len(tr.Events))
+		}
+	} else {
+		wf := albatross.GenerateFlows(cr.flows, cr.tenants, cr.seed)
+		src, err := albatross.NewSource(
+			albatross.WithFlows(wf),
+			albatross.WithRate(albatross.ConstantRate(cr.rate)),
+			albatross.WithSourceSeed(cr.seed+1),
+			albatross.WithSink(sink),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := src.Start(cl.Engine); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cl.RunFor(albatross.Duration(cr.duration.Nanoseconds()))
+		src.Stop()
+		cl.RunFor(albatross.Millisecond) // drain in-flight packets
+	}
 
 	secs := cr.duration.Seconds()
 	members := cl.Members()
@@ -98,5 +140,38 @@ func runCluster(cr clusterRun) {
 			os.Exit(1)
 		}
 		fmt.Printf("  metrics     %s.prom %s.json\n", cr.metricsOut, cr.metricsOut)
+	}
+	if rec != nil {
+		if err := rec.Trace().WriteFile(cr.recordOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace       %d events -> %s (+ .json sidecar)\n", rec.Events(), cr.recordOut)
+	}
+	if cr.outcomeOut != "" {
+		if err := os.WriteFile(cr.outcomeOut, []byte(cl.Outcome()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  outcome     %s\n", cr.outcomeOut)
+	}
+	if cr.traceDump != "" {
+		pods := map[string]*albatross.PodRuntime{}
+		order := []string{}
+		var committed uint64
+		for _, m := range members {
+			label := fmt.Sprintf("node%d/gw0", m.Index)
+			pods[label] = m.Node.Pods()[0]
+			order = append(order, label)
+			committed += m.Node.Pods()[0].Flight().Committed()
+		}
+		if err := dumpJourneys(cr.traceDump, pods, order); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  journeys    %d committed -> %s.journeys.json\n", committed, cr.traceDump)
+	}
+	if cr.metricsAddr != "" {
+		serveMetrics(cr.metricsAddr, cl.Metrics())
 	}
 }

@@ -43,10 +43,30 @@ func main() {
 		autoFB   = flag.Bool("autofallback", false, "arm the reorder-timeout watchdog that falls back PLB->RSS")
 		nodes    = flag.Int("nodes", 1, "gateway servers; >1 deploys a cluster behind consistent-hash ECMP")
 		metrics  = flag.String("metrics-out", "", "write the final metrics snapshot to PREFIX.prom and PREFIX.json")
+
+		recordOut   = flag.String("record", "", "record the injection schedule to this trace file (plus a .json header sidecar)")
+		replayIn    = flag.String("replay", "", "replay a trace file instead of generating traffic (-rate is ignored; -duration still bounds the run)")
+		replayDiff  = flag.String("replay-diff", "", "compare two outcome report files A,B (from -outcome-out); exits 1 when they differ")
+		outcomeOut  = flag.String("outcome-out", "", "write the per-node outcome report to this file (requires -nodes > 1)")
+		traceDump   = flag.String("trace-dump", "", "write committed flight-recorder journeys to PREFIX.journeys.json")
+		metricsAddr = flag.String("metrics-listen", "", "after the run, serve the frozen metrics snapshot at http://ADDR/metrics (blocks)")
+		traceSample = flag.Int("trace-sample", 0, "flight-record every Nth packet (0 disables; -trace-dump and trigger flags default it to 64)")
+		trigLat     = flag.Duration("trace-latency-over", 0, "flight-recorder trigger: commit journeys slower than this end to end")
+		trigVNI     = flag.Int("trace-vni", -1, "flight-recorder trigger: commit journeys of this tenant VNI")
+		trigFault   = flag.Bool("trace-fault-window", false, "flight-recorder trigger: commit journeys overlapping a fault activation window")
 	)
 	var ff faultFlag
 	flag.Var(&ff, "fault", "inject a fault, repeatable: kind@time[,k=v...] e.g. corefail@20ms,core=2,dur=10ms (see cmd/albatross-sim/faults.go)")
 	flag.Parse()
+
+	if *replayDiff != "" {
+		runReplayDiffCmd(*replayDiff)
+		return
+	}
+	if *outcomeOut != "" && *nodes <= 1 {
+		fmt.Fprintln(os.Stderr, "-outcome-out needs a cluster: pass -nodes > 1")
+		os.Exit(2)
+	}
 
 	svc, ok := serviceNames[strings.ToLower(*svcName)]
 	if !ok {
@@ -66,6 +86,10 @@ func main() {
 		opts = append(opts, albatross.WithFaultPlan(&ff.plan))
 	}
 
+	sample := *traceSample
+	if sample == 0 && (*traceDump != "" || *trigLat > 0 || *trigVNI >= 0 || *trigFault) {
+		sample = 64
+	}
 	podCfg := func() albatross.PodConfig {
 		wf := albatross.GenerateFlows(*flows, *tenants, *seed)
 		return albatross.PodConfig{
@@ -73,7 +97,8 @@ func main() {
 				Name: "gw0", Service: svc,
 				DataCores: *cores, CtrlCores: 2, Mode: mode,
 			},
-			Flows: albatross.ServiceFlows(wf, *denied),
+			Flows:            albatross.ServiceFlows(wf, *denied),
+			TraceSampleEvery: sample,
 		}
 	}
 
@@ -84,6 +109,9 @@ func main() {
 			tenants: *tenants, rate: *rate, duration: *duration, seed: *seed,
 			autoFB: *autoFB, report: *report, hasFaults: len(ff.plan.Faults) > 0,
 			metricsOut: *metrics,
+			recordOut:  *recordOut, replayIn: *replayIn, outcomeOut: *outcomeOut,
+			traceDump: *traceDump, metricsAddr: *metricsAddr,
+			trigLat: *trigLat, trigVNI: *trigVNI, trigFault: *trigFault,
 		})
 		return
 	}
@@ -110,6 +138,7 @@ func main() {
 	if *autoFB {
 		pod.EnableAutoFallback(0, 0)
 	}
+	armTriggers(pod, *trigLat, *trigVNI, *trigFault)
 
 	sink := pod.Sink()
 	var capture *pcapCapture
@@ -127,21 +156,50 @@ func main() {
 			inner(f, bytes)
 		}
 	}
-	src := &albatross.Source{
-		Flows: wf,
-		Rate:  albatross.ConstantRate(*rate),
-		Seed:  *seed + 1,
-		Sink:  sink,
-	}
-	if err := src.Start(node.Engine); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var rec *albatross.TraceRecorder
+	if *recordOut != "" {
+		rec = albatross.NewTraceRecorder(node.Engine)
+		rec.SetMeta(*seed, 1, "albatross-sim single-node run")
+		sink = rec.WrapSink(sink)
 	}
 
 	wall := time.Now()
-	node.RunFor(albatross.Duration(duration.Nanoseconds()))
-	src.Stop()
-	node.RunFor(albatross.Millisecond) // drain in-flight packets
+	if *replayIn != "" {
+		tr, err := albatross.ReadTraceFile(*replayIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rp, err := albatross.ReplayTraceInto(node.Engine, tr, sink)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		node.RunFor(albatross.Duration(duration.Nanoseconds()))
+		node.RunFor(albatross.Millisecond) // drain in-flight packets
+		if !rp.Done() {
+			fmt.Fprintf(os.Stderr, "warning: replay injected %d of %d events; raise -duration\n",
+				rp.Injected, len(tr.Events))
+		}
+	} else {
+		src, err := albatross.NewSource(
+			albatross.WithFlows(wf),
+			albatross.WithRate(albatross.ConstantRate(*rate)),
+			albatross.WithSourceSeed(*seed+1),
+			albatross.WithSink(sink),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := src.Start(node.Engine); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		node.RunFor(albatross.Duration(duration.Nanoseconds()))
+		src.Stop()
+		node.RunFor(albatross.Millisecond) // drain in-flight packets
+	}
 
 	secs := duration.Seconds()
 	fmt.Printf("albatross-sim: %s %v pod, %d cores, %d flows, offered %.2f Mpps for %v (virtual)\n",
@@ -184,6 +242,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  metrics     %s.prom %s.json\n", *metrics, *metrics)
+	}
+	if rec != nil {
+		if err := rec.Trace().WriteFile(*recordOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace       %d events -> %s (+ .json sidecar)\n", rec.Events(), *recordOut)
+	}
+	if *traceDump != "" {
+		if err := dumpJourneys(*traceDump, map[string]*albatross.PodRuntime{"gw0": pod}, []string{"gw0"}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  journeys    %d committed -> %s.journeys.json\n", pod.Flight().Committed(), *traceDump)
+	}
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, node.Metrics())
 	}
 }
 

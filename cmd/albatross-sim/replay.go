@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"albatross"
+)
+
+// runReplayDiffCmd is the -replay-diff A,B mode: load two outcome report
+// files (written by -outcome-out), print their structural diff, and exit
+// nonzero when they differ — the gameday-drill assertion as a shell one-liner.
+func runReplayDiffCmd(spec string) {
+	pathA, pathB, ok := strings.Cut(spec, ",")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "-replay-diff wants two outcome files: A,B")
+		os.Exit(2)
+	}
+	a, err := os.ReadFile(pathA)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	b, err := os.ReadFile(pathB)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	d := albatross.DiffOutcomes(pathA, string(a), pathB, string(b))
+	fmt.Print(d.String())
+	if !d.Empty() {
+		os.Exit(1)
+	}
+}
+
+// armTriggers applies the operator flight-recorder trigger flags to one pod.
+func armTriggers(pr *albatross.PodRuntime, lat time.Duration, vni int, faultWin bool) {
+	fr := pr.Flight()
+	if lat > 0 {
+		fr.TriggerLatencyOver(albatross.Duration(lat.Nanoseconds()))
+	}
+	if vni >= 0 {
+		fr.TriggerVNI(uint32(vni))
+	}
+	if faultWin {
+		fr.TriggerFaultWindow()
+	}
+}
+
+// journeyJSON is the on-disk form of one committed packet journey.
+type journeyJSON struct {
+	Pod    string            `json:"pod"`
+	VNI    uint32            `json:"vni"`
+	Flow   string            `json:"flow"`
+	Bytes  int               `json:"bytes"`
+	T0NS   int64             `json:"t0_ns"`
+	EndNS  int64             `json:"end_ns"`
+	Reason string            `json:"reason"`
+	Core   int32             `json:"core"`
+	ViaPLB bool              `json:"via_plb"`
+	PSN    uint16            `json:"psn,omitempty"`
+	OrdQ   uint8             `json:"ordq,omitempty"`
+	Steps  []journeyStepJSON `json:"steps"`
+}
+
+type journeyStepJSON struct {
+	Stage   string `json:"stage"`
+	Verdict string `json:"verdict"`
+	EnterNS int64  `json:"enter_ns"`
+	LeaveNS int64  `json:"leave_ns"`
+}
+
+// dumpJourneys writes every committed flight-recorder journey of the given
+// pods to prefix.journeys.json, in pod order then commit order — stable
+// across repeat runs at a fixed seed.
+func dumpJourneys(prefix string, pods map[string]*albatross.PodRuntime, order []string) error {
+	names := albatross.StageNames()
+	out := []journeyJSON{}
+	for _, label := range order {
+		pr := pods[label]
+		for _, j := range pr.Flight().Journeys() {
+			jj := journeyJSON{
+				Pod:    label,
+				VNI:    j.Flow.VNI,
+				Flow:   j.Flow.Tuple.String(),
+				Bytes:  j.Bytes,
+				T0NS:   int64(j.T0),
+				EndNS:  int64(j.End),
+				Reason: j.Reason.String(),
+				Core:   j.Core,
+				ViaPLB: j.ViaPLB,
+			}
+			if j.ViaPLB {
+				jj.PSN, jj.OrdQ = j.PSN, j.OrdQ
+			}
+			for _, s := range j.Steps[:j.NSteps] {
+				jj.Steps = append(jj.Steps, journeyStepJSON{
+					Stage:   names[s.Stage],
+					Verdict: s.Verdict.String(),
+					EnterNS: int64(s.Enter),
+					LeaveNS: int64(s.Leave),
+				})
+			}
+			out = append(out, jj)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(prefix+".journeys.json", append(data, '\n'), 0o644)
+}
+
+// serveMetrics blocks serving the frozen post-run snapshot at
+// http://addr/metrics — a scrape target for ad-hoc inspection, entirely
+// off the (already finished) simulation.
+func serveMetrics(addr string, snap *albatross.MetricsSnapshot) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", albatross.MetricsHandler(func() *albatross.MetricsSnapshot { return snap }))
+	fmt.Fprintf(os.Stderr, "  serving metrics at http://%s/metrics (ctrl-c to stop)\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

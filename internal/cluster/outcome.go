@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"albatross/internal/core"
+	"albatross/internal/workload"
+	"albatross/internal/workload/trace"
+)
+
+// Outcome renders the cluster's per-node outcome summary as a keyed-line
+// report — the artifact trace.Diff compares across seeds, node counts, and
+// fault plans. Every line is "key | values"; keys are stable across runs
+// so the differ matches structurally, and every value is derived from the
+// deterministic simulation state (no wall-clock, no map iteration).
+//
+// The report covers, per node: availability and uplink state, traffic and
+// drop counters, flight-recorder tallies, per-stage conservation residuals
+// (In − Out − Drops, zero once drained), per-stage residency quantiles,
+// and end-to-end latency quantiles; plus cluster-level ECMP counters and a
+// checksum of the full metrics export so *any* metric drift is caught even
+// if no summarized line moves.
+func (c *Cluster) Outcome() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "outcome albatross/v1 | nodes=%d t=%v\n", len(c.members), c.Engine.Now())
+	fmt.Fprintf(&b, "cluster/traffic | sprayed=%d remapped=%d switch-drops=%d blackholed=%d\n",
+		c.Sprayed, c.Remapped, c.Drops, c.Blackholed())
+
+	for _, m := range c.members {
+		id := fmt.Sprintf("node%d", m.Index)
+		var restarts uint64
+		for _, pr := range m.Node.Pods() {
+			restarts += pr.Restarts
+		}
+		fmt.Fprintf(&b, "%s/avail | state=%s crashes=%d drains=%d restarts=%d\n",
+			id, m.State(), m.Crashes, m.Drains, restarts)
+		us := m.Node.Uplink().Stats()
+		fmt.Fprintf(&b, "%s/uplink | route-up=%v flaps=%d detections=%d recoveries=%d downtime=%v\n",
+			id, m.Node.Uplink().RouteUp(), us.Flaps, us.Detections, us.Recoveries, us.DownTime)
+
+		agg := aggregatePods(m.Node.Pods())
+		fmt.Fprintf(&b, "%s/traffic | ecmp-rx=%d rx=%d tx=%d redirected=%d drops[nic=%d queue=%d plb=%d service=%d header=%d rxloss=%d fault=%d crash=%d] node[blackholed=%d proxied=%d]\n",
+			id, m.Rx, agg.rx, agg.tx, agg.redirected,
+			agg.nicDrops, agg.queueDrops, agg.plbDrops, agg.serviceDrops, agg.headerDrops,
+			agg.rxLost, agg.faultLost, agg.crashDrops, m.Node.Blackholed, m.Node.Proxied)
+		fmt.Fprintf(&b, "%s/flight | sampled=%d dropped=%d timeouts=%d triggered=%d discarded=%d\n",
+			id, agg.sampled, agg.frDrops, agg.frTimeouts, agg.frTriggered, agg.frDiscarded)
+
+		for si, name := range core.StageNames() {
+			st := agg.stages[si]
+			fmt.Fprintf(&b, "%s/conserve/%s | residual=%d balanced=%v\n",
+				id, name, int64(st.in)-int64(st.out)-int64(st.drops), st.in == st.out+st.drops)
+		}
+		for si, name := range core.StageNames() {
+			fmt.Fprintf(&b, "%s/resid/%s | p50=%dns p99=%dns\n",
+				id, name, agg.residP50[si], agg.residP99[si])
+		}
+		fmt.Fprintf(&b, "%s/latency | p50=%dns p99=%dns p999=%dns\n",
+			id, agg.latP50, agg.latP99, agg.latP999)
+	}
+
+	prom := c.Metrics().Prometheus()
+	sum := fnv.New64a()
+	sum.Write([]byte(prom))
+	fmt.Fprintf(&b, "metrics/fnv64a | %#016x bytes=%d\n", sum.Sum64(), len(prom))
+	return b.String()
+}
+
+// podAggregate sums one member's pod-level telemetry; multi-pod members
+// (upgrade siblings) report as one node.
+type podAggregate struct {
+	rx, tx, redirected                           uint64
+	nicDrops, queueDrops, plbDrops, serviceDrops uint64
+	headerDrops, rxLost, faultLost, crashDrops   uint64
+	sampled, frDrops, frTimeouts, frTriggered    uint64
+	frDiscarded                                  uint64
+	stages                                       [7]struct{ in, out, drops uint64 }
+	residP50, residP99                           [7]int64
+	latP50, latP99, latP999                      int64
+}
+
+func aggregatePods(pods []*core.PodRuntime) podAggregate {
+	var a podAggregate
+	for _, pr := range pods {
+		a.rx += pr.Rx
+		a.tx += pr.Tx
+		a.redirected += pr.Redirected
+		a.nicDrops += pr.NICDrops
+		a.queueDrops += pr.QueueDrops
+		a.plbDrops += pr.PLBDrops
+		a.serviceDrops += pr.ServiceDrop
+		a.headerDrops += pr.HeaderDrops
+		a.rxLost += pr.RxLost
+		a.faultLost += pr.FaultLost
+		a.crashDrops += pr.CrashDrops
+		fr := pr.Flight()
+		a.sampled += fr.Sampled
+		a.frDrops += fr.Drops
+		a.frTimeouts += fr.Timeouts
+		a.frTriggered += fr.Triggered
+		a.frDiscarded += fr.Discarded
+		for si, st := range pr.Stages() {
+			a.stages[si].in += st.In
+			a.stages[si].out += st.Out
+			a.stages[si].drops += st.Drops
+		}
+	}
+	// Quantiles come from the ingress pod (pod 0): siblings only carry
+	// redirected spillover and would blur the node's residency signature.
+	if len(pods) > 0 {
+		resid := pods[0].StageResidency()
+		for si := range resid {
+			a.residP50[si] = resid[si].Quantile(0.50)
+			a.residP99[si] = resid[si].Quantile(0.99)
+		}
+		a.latP50 = pods[0].Latency.Quantile(0.50)
+		a.latP99 = pods[0].Latency.Quantile(0.99)
+		a.latP999 = pods[0].Latency.Quantile(0.999)
+	}
+	return a
+}
+
+// RecordingSink returns an ingress sink that records every injection into
+// rec — stamped with the ECMP owner the switch would pick at that instant
+// — before spraying it into the cluster. Wrap a workload source's sink
+// with it to capture a replayable schedule of a live cluster run.
+func (c *Cluster) RecordingSink(rec *trace.Recorder) func(workload.Flow, int) {
+	return func(f workload.Flow, bytes int) {
+		_, owner := c.Route(f)
+		rec.Record(f, bytes, owner, 0)
+		c.Inject(f, bytes)
+	}
+}
+
+// ReplayTrace drives the cluster's ECMP ingress from a saved schedule: the
+// trace's events are injected at their recorded virtual-time offsets
+// (relative to now) as the engine runs. The recorded node/pod targets are
+// deliberately ignored on ingress — routing is re-derived from the ring,
+// so the same trace replayed against a different node count or fault plan
+// shows how the *deployment* changes the outcome of the *same* traffic.
+func (c *Cluster) ReplayTrace(t *trace.Trace) (*trace.Replayer, error) {
+	return trace.Replay(c.Engine, t, c.Sink())
+}

@@ -125,6 +125,18 @@ func (pr *PodRuntime) rxLossHit(core int) bool {
 	return pr.rng.Float64() < pr.rxLossProb[core]
 }
 
+// noteFaultWindow records a fault activation window [now, now+d) on the
+// pod's flight recorder so the TriggerFaultWindow commit trigger can match
+// journeys that flew through it. d <= 0 (permanent faults) records an
+// effectively unbounded window.
+func (pr *PodRuntime) noteFaultWindow(d sim.Duration) {
+	now := pr.node.Engine.Now()
+	if d <= 0 {
+		d = sim.Duration(1) << 60
+	}
+	pr.flight.noteFaultWindow(now, now.Add(d))
+}
+
 // InjectCoreStall makes pod/core process factor× slower for d (the sick
 // core's service-time blowup). Implements faults.Target.
 func (n *Node) InjectCoreStall(podIdx, core int, factor float64, d sim.Duration) error {
@@ -138,6 +150,7 @@ func (n *Node) InjectCoreStall(podIdx, core int, factor float64, d sim.Duration)
 	if factor <= 0 || d <= 0 {
 		return fmt.Errorf("core: stall needs positive factor and duration: %w", errs.BadConfig)
 	}
+	pr.noteFaultWindow(d)
 	c := pr.Cores[core]
 	c.SetSlowFactor(factor)
 	n.Engine.After(d, func() {
@@ -166,6 +179,7 @@ func (n *Node) InjectCoreFail(podIdx, core int, d sim.Duration) error {
 	if c.Failed() {
 		return nil
 	}
+	pr.noteFaultWindow(d)
 	pr.FaultLost += uint64(c.Fail(pr.onLost))
 	if pr.PLB != nil {
 		pr.PLB.EvictCore(core)
@@ -202,6 +216,7 @@ func (n *Node) InjectPodCrash(podIdx int, graceful bool, restartAfter sim.Durati
 	if restartAfter <= 0 {
 		restartAfter = pod.StartupTime
 	}
+	pr.noteFaultWindow(restartAfter)
 	pr.redirect = n.siblingOf(pr)
 	if graceful {
 		pr.state = podDraining
@@ -246,7 +261,11 @@ func (n *Node) InjectReorderStress(podIdx, queue int, d sim.Duration, holdHeads 
 	if pr.PLB == nil {
 		return fmt.Errorf("core: pod %q has no PLB engine: %w", pr.Pod.Spec.Name, errs.BadState)
 	}
-	return pr.PLB.StressQueue(queue, d, holdHeads, depthClamp)
+	if err := pr.PLB.StressQueue(queue, d, holdHeads, depthClamp); err != nil {
+		return err
+	}
+	pr.noteFaultWindow(d)
+	return nil
 }
 
 // InjectRxLoss drops packets dispatched to pod/core with probability prob
@@ -272,6 +291,7 @@ func (n *Node) InjectRxLoss(podIdx, core int, prob float64, d sim.Duration) erro
 		pr.rxLossUntil[core] = until
 	}
 	pr.rxLossProb[core] = prob
+	pr.noteFaultWindow(d)
 	return nil
 }
 
@@ -288,6 +308,11 @@ func (n *Node) InjectBGPFlap(d sim.Duration) error {
 		}
 	}
 	n.uplink.InjectFlap(d)
+	// The outage is node-scoped: every pod's journeys through it are
+	// fault-window candidates.
+	for _, pr := range n.pods {
+		pr.noteFaultWindow(d)
+	}
 	return nil
 }
 

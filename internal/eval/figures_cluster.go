@@ -54,7 +54,7 @@ func runClusterFail(cfg Config) *Result {
 	}
 	before := owners()
 
-	src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(rate), Seed: cfg.Seed + 1, Sink: cl.Sink()}
+	src := sourceFor(cfg, 1, wf, workload.ConstantRate(rate), cl.Sink())
 	if err := src.Start(cl.Engine); err != nil {
 		panic(err)
 	}

@@ -34,8 +34,8 @@ func runSplit(cfg Config) *Result {
 		if err != nil {
 			panic(err)
 		}
-		src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(1e6),
-			PacketBytes: pktBytes, Seed: cfg.Seed + 9, Sink: pr.Sink()}
+		src := sourceFor(cfg, 9, wf, workload.ConstantRate(1e6), pr.Sink(),
+			workload.WithPacketBytes(pktBytes))
 		if err := src.Start(n.Engine); err != nil {
 			panic(err)
 		}
@@ -100,8 +100,7 @@ func runPriority(cfg Config) *Result {
 	capacity := pr.SaturationMpps(sf, 5000) * 1e6
 
 	// Saturate the dataplane at 2x capacity.
-	src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(2 * capacity),
-		Seed: cfg.Seed + 10, Sink: pr.Sink()}
+	src := sourceFor(cfg, 10, wf, workload.ConstantRate(2*capacity), pr.Sink())
 	src.Start(n.Engine)
 
 	// BFD control packets every 10ms (paper: 3 lost probes = link down).
@@ -187,7 +186,7 @@ func runElasticity(cfg Config) *Result {
 		rr++
 		pr.Inject(f, bytes)
 	}
-	src := &workload.Source{Flows: wf, Rate: rate, Seed: cfg.Seed + 11, Sink: sink}
+	src := sourceFor(cfg, 11, wf, rate, sink)
 	src.Start(n.Engine)
 
 	// Watchdog: when offered load crosses 80% of capacity, request a new

@@ -64,7 +64,7 @@ func runFaultCore(cfg Config) *Result {
 	wf := workload.GenerateFlows(2000, 100, cfg.Seed)
 	sf := workload.ServiceFlows(wf, 0)
 	pr := faultPod(n, "gw", 4, sf)
-	src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(1e6), Seed: cfg.Seed + 1, Sink: pr.Sink()}
+	src := sourceFor(cfg, 1, wf, workload.ConstantRate(1e6), pr.Sink())
 	if err := src.Start(n.Engine); err != nil {
 		panic(err)
 	}
@@ -127,7 +127,7 @@ func runFaultPod(cfg Config) *Result {
 		sf := workload.ServiceFlows(wf, 0)
 		p0 := faultPod(n, "gw0", 4, sf)
 		p1 := faultPod(n, "gw1", 4, sf)
-		src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(1e6), Seed: cfg.Seed + 1, Sink: p0.Sink()}
+		src := sourceFor(cfg, 1, wf, workload.ConstantRate(1e6), p0.Sink())
 		if err := src.Start(n.Engine); err != nil {
 			panic(err)
 		}
@@ -183,7 +183,7 @@ func runFaultHOL(cfg Config) *Result {
 			c.TraceSampleEvery = 64 // dense sampling: this run studies tail journeys
 		})
 		pr.EnableAutoFallback(0, 0) // defaults: 1ms window, 5% timeout fraction
-		src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(1e6), Seed: cfg.Seed + 1, Sink: pr.Sink()}
+		src := sourceFor(cfg, 1, wf, workload.ConstantRate(1e6), pr.Sink())
 		if err := src.Start(n.Engine); err != nil {
 			panic(err)
 		}
@@ -267,7 +267,7 @@ func runFaultBGP(cfg Config) *Result {
 	wf := workload.GenerateFlows(500, 100, cfg.Seed)
 	sf := workload.ServiceFlows(wf, 0)
 	pr := faultPod(n, "gw", 4, sf)
-	src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(1e5), Seed: cfg.Seed + 1, Sink: pr.Sink()}
+	src := sourceFor(cfg, 1, wf, workload.ConstantRate(1e5), pr.Sink())
 	if err := src.Start(n.Engine); err != nil {
 		panic(err)
 	}

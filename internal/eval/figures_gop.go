@@ -102,8 +102,7 @@ func runTenantOverload(cfg Config, withGOP bool) *Result {
 		workload.ConstantRate(0.05 * capacity),
 	}
 	for i := 0; i < 4; i++ {
-		src := &workload.Source{Flows: tenantFlows[i], Rate: offered[i],
-			Seed: cfg.Seed + uint64(50+i), Sink: pr.Sink()}
+		src := sourceFor(cfg, uint64(50+i), tenantFlows[i], offered[i], pr.Sink())
 		if err := src.Start(n.Engine); err != nil {
 			panic(err)
 		}

@@ -114,8 +114,7 @@ func runFig17(cfg Config) *Result {
 			b.LoadThreshold = 0.6
 			b.Start()
 		}
-		src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(0.9 * capacity),
-			Seed: cfg.Seed + 6, Sink: pr.Sink()}
+		src := sourceFor(cfg, 6, wf, workload.ConstantRate(0.9*capacity), pr.Sink())
 		src.Start(n.Engine)
 		dur := 400 * sim.Millisecond
 		if cfg.Quick {

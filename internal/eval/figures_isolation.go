@@ -50,11 +50,9 @@ func runIsolation(cfg Config) *Result {
 		if overloadA {
 			rateA = 2.5 * capA
 		}
-		srcA := &workload.Source{Flows: wfA, Rate: workload.ConstantRate(rateA),
-			Seed: cfg.Seed + 10, Sink: podA.Sink()}
+		srcA := sourceFor(cfg, 10, wfA, workload.ConstantRate(rateA), podA.Sink())
 		srcA.Start(n.Engine)
-		srcB := &workload.Source{Flows: wfB, Rate: workload.ConstantRate(0.2 * capA),
-			Seed: cfg.Seed + 11, Sink: podB.Sink()}
+		srcB := sourceFor(cfg, 11, wfB, workload.ConstantRate(0.2*capA), podB.Sink())
 		srcB.Start(n.Engine)
 
 		n.RunFor(60 * sim.Millisecond)

@@ -64,10 +64,10 @@ func runFig8(cfg Config) *Result {
 		hotCap := float64(sim.Second) / float64(hotCost)
 		samplers := pr.UtilSamplers()
 
-		bg := &workload.Source{Flows: wf, Rate: workload.ConstantRate(0.3 * coreCap), Seed: cfg.Seed + 1, Sink: pr.Sink()}
+		bg := sourceFor(cfg, 1, wf, workload.ConstantRate(0.3*coreCap), pr.Sink())
 		bg.Start(n.Engine)
 		if hhFrac > 0 {
-			hh := &workload.Source{Flows: wf[:1], Rate: workload.ConstantRate(hhFrac * hotCap), Seed: cfg.Seed + 2, Sink: pr.Sink()}
+			hh := sourceFor(cfg, 2, wf[:1], workload.ConstantRate(hhFrac*hotCap), pr.Sink())
 			hh.Start(n.Engine)
 		}
 		n.RunFor(60 * sim.Millisecond)
@@ -129,12 +129,9 @@ func runFig9(cfg Config) *Result {
 		// scale the base so the *average* offered load matches `load`.
 		meanFactor := 1.0 + (3.0-1.0)*0.2/2.0
 		base := load * capacity / meanFactor
-		src := &workload.Source{
-			Flows: wf,
-			Rate:  workload.Microburst(workload.ConstantRate(base), 3, 2*sim.Millisecond, 200*sim.Microsecond),
-			Seed:  cfg.Seed + 3,
-			Sink:  pr.Sink(),
-		}
+		src := sourceFor(cfg, 3, wf,
+			workload.Microburst(workload.ConstantRate(base), 3, 2*sim.Millisecond, 200*sim.Microsecond),
+			pr.Sink())
 		src.Start(n.Engine)
 		dur := 80 * sim.Millisecond
 		if cfg.Quick {
@@ -189,16 +186,12 @@ func runFig10(cfg Config) *Result {
 			panic(err)
 		}
 		capacity := pr.SaturationMpps(sf, 5000) * 1e6
-		src := &workload.Source{
-			Flows: wf,
-			// Micro-bursts hit a few flows hard: Zipf popularity makes each
-			// burst concentrate on popular flows, which under RSS pile onto
-			// single cores.
-			Rate:         workload.Microburst(workload.ConstantRate(0.18*capacity), 6, 5*sim.Millisecond, 300*sim.Microsecond),
-			ZipfExponent: 1.1,
-			Seed:         cfg.Seed + 4,
-			Sink:         pr.Sink(),
-		}
+		// Micro-bursts hit a few flows hard: Zipf popularity makes each
+		// burst concentrate on popular flows, which under RSS pile onto
+		// single cores.
+		src := sourceFor(cfg, 4, wf,
+			workload.Microburst(workload.ConstantRate(0.18*capacity), 6, 5*sim.Millisecond, 300*sim.Microsecond),
+			pr.Sink(), workload.WithZipf(1.1))
 		src.Start(n.Engine)
 
 		samplers := pr.UtilSamplers()
@@ -265,12 +258,9 @@ func runFig11(cfg Config) *Result {
 		}
 		pods[name] = pr
 		capacity := pr.SaturationMpps(sf, 5000) * 1e6
-		src := &workload.Source{
-			Flows: wf,
-			Rate:  workload.Microburst(workload.ConstantRate(loads[name]*capacity), 4, 3*sim.Millisecond, 200*sim.Microsecond),
-			Seed:  cfg.Seed + uint64(100+i),
-			Sink:  pr.Sink(),
-		}
+		src := sourceFor(cfg, uint64(100+i), wf,
+			workload.Microburst(workload.ConstantRate(loads[name]*capacity), 4, 3*sim.Millisecond, 200*sim.Microsecond),
+			pr.Sink())
 		src.Start(n.Engine)
 	}
 	n.RunFor(dur)
@@ -326,7 +316,7 @@ func runFig12(cfg Config) *Result {
 			panic(err)
 		}
 		capacity := pr.SaturationMpps(sf, 5000) * 1e6
-		src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(0.5 * capacity), Seed: cfg.Seed + 5, Sink: pr.Sink()}
+		src := sourceFor(cfg, 5, wf, workload.ConstantRate(0.5*capacity), pr.Sink())
 		src.Start(n.Engine)
 		dur := 100 * sim.Millisecond
 		n.RunFor(dur)

@@ -1,0 +1,178 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/faults"
+	"albatross/internal/pod"
+	"albatross/internal/service"
+	"albatross/internal/sim"
+	"albatross/internal/stats"
+	"albatross/internal/workload"
+	"albatross/internal/workload/trace"
+)
+
+func init() {
+	register("replaydiff", "Trace record/replay as a regression oracle: seed-invariant outcomes, crash diff confined to the detection window", runReplayDiff)
+}
+
+// runReplayDiff exercises the record → save → replay → diff loop the
+// gameday-drill story needs. One live 3-node cluster run is recorded into
+// a trace, serialized, and read back; the same schedule is then replayed
+// against fresh clusters under three different seeds (the per-node outcome
+// reports must be byte-identical — with service jitter disabled the
+// schedule alone determines every outcome) and against a cluster with a
+// NodeCrash fault plan (the diff against healthy must touch only the
+// crashed node's lines, the cluster ECMP totals, and the metrics checksum
+// — i.e. the BFD detection-window delta — never a survivor's lines or any
+// conservation residual).
+func runReplayDiff(cfg Config) *Result {
+	r := &Result{ID: "replaydiff", Title: "Trace replay across seeds and fault plans (record → save → replay → diff)"}
+
+	const nodes = 3
+	nFlows, rate := 4000, 8e5
+	if cfg.Quick {
+		nFlows, rate = 1200, 2e5
+	}
+	trafficLen := 40 * sim.Millisecond
+	// Crash mid-traffic; BFD's detection window (≤ 4 × 50ms probes) ends
+	// *after* the traffic does, so the entire crash loss is detection-window
+	// blackhole — no remap, and survivors never see a single extra packet.
+	crashAt := 15 * sim.Millisecond
+	// Run every cluster to the same virtual instant, past BFD detection so
+	// the withdrawal shows in the dead node's uplink line.
+	totalLen := 300 * sim.Millisecond
+
+	wf := workload.GenerateFlows(nFlows, 100, cfg.Seed)
+	podCfg := core.PodConfig{
+		Spec:  pod.Spec{Name: "gw", Service: service.VPCVPC, DataCores: 4, CtrlCores: 1, Mode: pod.ModePLB},
+		Flows: workload.ServiceFlows(wf, 0),
+		// Replay outcomes must be a function of the schedule alone:
+		// disable the lognormal service jitter (the only per-packet RNG
+		// draw), so replaying one trace under different node seeds cannot
+		// diverge.
+		JitterSigma:      -1,
+		TraceSampleEvery: 64,
+	}
+
+	// Record: a live cluster run with the ingress sink wrapped.
+	recCl, err := cluster.New(cluster.Config{Nodes: nodes, Seed: cfg.Seed})
+	if err != nil {
+		panic(err)
+	}
+	if err := recCl.AddPod(podCfg); err != nil {
+		panic(err)
+	}
+	rec := trace.NewRecorder(recCl.Engine)
+	rec.SetMeta(cfg.Seed, nodes, "replaydiff gameday drill")
+	src := sourceFor(cfg, 1, wf, workload.ConstantRate(rate), recCl.RecordingSink(rec))
+	if err := src.Start(recCl.Engine); err != nil {
+		panic(err)
+	}
+	recCl.RunFor(trafficLen)
+	src.Stop()
+	recCl.RunFor(totalLen - trafficLen)
+	recordedOutcome := recCl.Outcome()
+
+	// Save → load: the replays below run from the deserialized artifact,
+	// so the byte-identity checks cover the wire format too.
+	var buf bytes.Buffer
+	if err := rec.Trace().Write(&buf); err != nil {
+		panic(err)
+	}
+	savedBytes := buf.Len()
+	tr, err := trace.Read(&buf)
+	if err != nil {
+		panic(err)
+	}
+
+	replay := func(seed uint64, plan *faults.Plan) (*cluster.Cluster, string) {
+		cl, err := cluster.New(cluster.Config{Nodes: nodes, Seed: seed, Faults: plan})
+		if err != nil {
+			panic(err)
+		}
+		if err := cl.AddPod(podCfg); err != nil {
+			panic(err)
+		}
+		rp, err := cl.ReplayTrace(tr)
+		if err != nil {
+			panic(err)
+		}
+		cl.RunFor(totalLen)
+		if !rp.Done() {
+			panic("replaydiff: trace replay did not complete")
+		}
+		return cl, cl.Outcome()
+	}
+
+	healthyCl, healthy := replay(cfg.Seed, nil)
+	_, seedB := replay(cfg.Seed+1000, nil)
+	_, seedC := replay(cfg.Seed+2000, nil)
+
+	plan := (&faults.Plan{}).NodeCrash(crashAt, 1, 2*sim.Second)
+	crashCl, crashed := replay(cfg.Seed, plan)
+	d := trace.Diff("healthy", healthy, "crash", crashed)
+
+	// Classify the diff: the only lines allowed to move are the crashed
+	// node's own, the cluster ECMP totals, and the metrics checksum.
+	allowedKey := func(k string) bool {
+		return k == "cluster/traffic" || k == "metrics/fnv64a" || strings.HasPrefix(k, "node1/")
+	}
+	disallowed := []string{}
+	conserveMoved := false
+	for _, k := range d.ChangedKeys() {
+		if !allowedKey(k) {
+			disallowed = append(disallowed, k)
+		}
+		if strings.Contains(k, "/conserve/") {
+			conserveMoved = true
+		}
+	}
+
+	// Quantify the crash delta for the loss-attribution check.
+	var crashTx, crashDrops, crashFault uint64
+	for _, m := range crashCl.Members() {
+		for _, pr := range m.Node.Pods() {
+			crashTx += pr.Tx
+			crashDrops += pr.NICDrops + pr.QueueDrops + pr.PLBDrops + pr.ServiceDrop + pr.RxLost + pr.CrashDrops
+			crashFault += pr.FaultLost
+		}
+	}
+
+	table := stats.NewTable("Replay", "Sprayed", "Blackholed", "Switch drops", "Outcome bytes")
+	table.AddRow("recorded run", recCl.Sprayed, recCl.Blackholed(), recCl.Drops, len(recordedOutcome))
+	table.AddRow("healthy (seed)", healthyCl.Sprayed, healthyCl.Blackholed(), healthyCl.Drops, len(healthy))
+	table.AddRow("healthy (seed+1000)", healthyCl.Sprayed, 0, healthyCl.Drops, len(seedB))
+	table.AddRow("node-crash plan", crashCl.Sprayed, crashCl.Blackholed(), crashCl.Drops, len(crashed))
+	r.Table = table
+	r.Metrics = healthyCl.Metrics()
+	r.notef("trace: %d events over %v, %d bytes on the wire (%d distinct flows)",
+		len(tr.Events), tr.Span(), savedBytes, tr.Header.Flows)
+	r.notef("crash diff: %d changed keys, %d one-sided; all confined to node1/cluster/metrics lines",
+		len(d.Changed), len(d.OnlyA)+len(d.OnlyB))
+
+	r.check("recorded schedule is non-trivial", len(tr.Events) > 1000,
+		"recorded %d events", len(tr.Events))
+	r.check("replay reproduces the recorded run byte-for-byte", healthy == recordedOutcome,
+		"outcome reports differ between the live recorded run and its replay")
+	r.check("outcomes byte-identical across 3 replay seeds",
+		healthy == seedB && healthy == seedC,
+		"outcome reports differ across seeds (len %d/%d/%d)", len(healthy), len(seedB), len(seedC))
+	r.check("crash replay diverges from healthy", !d.Empty(),
+		"node-crash replay produced an identical outcome report")
+	r.check("crash diff confined to the detection-window lines", len(disallowed) == 0,
+		"unexpected diff keys: %v", disallowed)
+	r.check("no conservation residual moved under the crash", !conserveMoved,
+		"a /conserve/ line changed between healthy and crash replays")
+	r.check("crash loss is detection-window blackhole",
+		crashCl.Blackholed() > 0 && healthyCl.Blackholed() == 0 && crashCl.Remapped == healthyCl.Remapped,
+		"blackholed=%d healthy-blackholed=%d remapped %d vs %d",
+		crashCl.Blackholed(), healthyCl.Blackholed(), crashCl.Remapped, healthyCl.Remapped)
+	accounted := crashTx + crashDrops + crashFault + crashCl.Blackholed() + crashCl.Drops
+	r.check("cluster-wide conservation holds under the crash replay", crashCl.Sprayed == accounted,
+		"sprayed=%d accounted=%d", crashCl.Sprayed, accounted)
+	return r
+}

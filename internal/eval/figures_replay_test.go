@@ -1,0 +1,24 @@
+package eval
+
+import "testing"
+
+// TestReplayDiffPassesAndRepeats runs the record→save→replay→diff
+// experiment twice at quick scale: the shape checks (seed-invariant
+// replay outcomes, crash diff confined to the detection window) must
+// pass, and the rendered report must be byte-identical across runs.
+func TestReplayDiffPassesAndRepeats(t *testing.T) {
+	e, ok := Find("replaydiff")
+	if !ok {
+		t.Fatal("replaydiff not registered")
+	}
+	cfg := Config{Seed: 1, Quick: true}
+	first := e.Run(cfg)
+	if !first.Passed() {
+		t.Fatalf("replaydiff failed: %v\n%s", first.FailedChecks(), first.String())
+	}
+	second := e.Run(cfg)
+	if first.String() != second.String() {
+		t.Fatalf("replaydiff not byte-identical across repeated runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			first.String(), second.String())
+	}
+}

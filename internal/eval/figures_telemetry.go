@@ -41,7 +41,7 @@ func runStageLat(cfg Config) *Result {
 		n := faultNode(cfg, nil)
 		wf := workload.GenerateFlows(2000, 100, cfg.Seed)
 		pr := faultPod(n, "gw", 4, workload.ServiceFlows(wf, 0))
-		src := &workload.Source{Flows: wf, Rate: workload.ConstantRate(1e6), Seed: cfg.Seed + 1, Sink: pr.Sink()}
+		src := sourceFor(cfg, 1, wf, workload.ConstantRate(1e6), pr.Sink())
 		if err := src.Start(n.Engine); err != nil {
 			panic(err)
 		}

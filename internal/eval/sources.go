@@ -1,0 +1,25 @@
+package eval
+
+import "albatross/internal/workload"
+
+// sourceFor builds the standard experiment traffic source through the
+// validated options constructor: a flow set, a rate, the canonical
+// per-experiment seed offset (cfg.Seed + n, so concurrent sources in one
+// experiment draw from disjoint RNG streams), and a sink. Extra options
+// (packet size, Zipf skew) append after the canonical four. It replaces
+// the ad-hoc &workload.Source{...} literals experiments used to spell by
+// hand; a config error panics, matching the harness's setup convention.
+func sourceFor(cfg Config, n uint64, flows []workload.Flow, rate workload.RateFn,
+	sink func(workload.Flow, int), extra ...workload.Option) *workload.Source {
+	opts := []workload.Option{
+		workload.WithFlows(flows),
+		workload.WithRate(rate),
+		workload.WithSeed(cfg.Seed + n),
+		workload.WithSink(sink),
+	}
+	src, err := workload.New(append(opts, extra...)...)
+	if err != nil {
+		panic(err)
+	}
+	return src
+}

@@ -1,0 +1,28 @@
+package metrics
+
+import "net/http"
+
+// PrometheusContentType is the text exposition format version the handler
+// advertises.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an HTTP handler serving the Prometheus text exposition
+// of whatever snapshot snap returns — typically Registry.Snapshot bound to
+// a live registry, or a closure over a frozen post-run snapshot. The
+// handler runs entirely off the simulation hot path: snapshotting reads
+// the counters through their closures at request time, and the simulator
+// never blocks on a scrape.
+func Handler(snap func() *Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", PrometheusContentType)
+		if r.Method == http.MethodHead {
+			return
+		}
+		w.Write([]byte(snap().Prometheus()))
+	})
+}

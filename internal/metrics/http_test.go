@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerServesPrometheusText pins the /metrics surface: GET returns
+// the registry's deterministic text exposition with the v0.0.4 content
+// type, HEAD returns headers only, and writes are rejected.
+func TestHandlerServesPrometheusText(t *testing.T) {
+	reg := New()
+	var hits uint64 = 41
+	reg.Counter("albatross_test_hits_total", "Test counter.", func() uint64 { return hits })
+
+	h := Handler(reg.Snapshot)
+	hits = 42 // the handler must snapshot at request time, not at build time
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != PrometheusContentType {
+		t.Fatalf("content type %q, want %q", ct, PrometheusContentType)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "albatross_test_hits_total 42") {
+		t.Fatalf("body missing live counter value:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE albatross_test_hits_total counter") {
+		t.Fatalf("body missing TYPE line:\n%s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("HEAD", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("HEAD /metrics: status %d, body %d bytes", rec.Code, rec.Body.Len())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /metrics: status %d, want 405", rec.Code)
+	}
+}

@@ -493,3 +493,15 @@ func Uint32ToBytes(v uint32) [4]byte {
 	binary.BigEndian.PutUint32(b[:], v)
 	return b
 }
+
+// ExtractFlow parses a wire frame and returns its tenant flow: the inner
+// five-tuple and VNI for VXLAN/Geneve frames, the outer tuple (VNI 0) for
+// plain IPv4. ok is false when the frame does not decode to an IPv4 packet
+// at all — the shared gate the pcap replay and trace-import paths use to
+// decide whether a captured frame is simulation input.
+func ExtractFlow(frame []byte, p *Parsed) (tuple FiveTuple, vni uint32, ok bool) {
+	if err := Parse(frame, p); err != nil || p.Decoded&LayerIPv4 == 0 {
+		return FiveTuple{}, 0, false
+	}
+	return p.InnerFlow(), p.VNI(), true
+}

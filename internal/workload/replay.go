@@ -68,9 +68,8 @@ func (rs *ReplaySource) Start(engine *sim.Engine, r io.Reader) error {
 			at:    sim.Duration(float64(p.TS-base) / rs.Speedup),
 			bytes: p.OrigLen,
 		}
-		if err := packet.Parse(p.Data, &parsed); err == nil &&
-			parsed.Decoded&packet.LayerIPv4 != 0 {
-			it.flow = Flow{Tuple: parsed.InnerFlow(), VNI: parsed.VNI()}
+		if tuple, vni, ok := packet.ExtractFlow(p.Data, &parsed); ok {
+			it.flow = Flow{Tuple: tuple, VNI: vni}
 			it.ok = true
 		}
 		if it.at > span {

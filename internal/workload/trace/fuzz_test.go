@@ -1,0 +1,54 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"albatross/internal/errs"
+	"albatross/internal/workload/trace"
+)
+
+// FuzzRead throws arbitrary byte streams at the trace decoder. The
+// contract under fuzz: never panic, reject malformed input with an error
+// wrapping both ErrBadTrace and the errs.BadConfig sentinel, and decode
+// only traces that re-serialize canonically.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := sampleTrace().Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("ALBT"))
+	f.Add(good[:len(good)/2])
+	mangled := bytes.Clone(good)
+	mangled[len(mangled)-1] ^= 0xff
+	f.Add(mangled)
+	short := bytes.Clone(good[:16])
+	f.Add(short)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, trace.ErrBadTrace) || !errors.Is(err, errs.BadConfig) {
+				t.Fatalf("rejection %v does not wrap ErrBadTrace/errs.BadConfig", err)
+			}
+			return
+		}
+		// Accepted input must be a canonical encoding: writing the decoded
+		// trace reproduces a stream that decodes to the same events.
+		var out bytes.Buffer
+		if err := tr.Write(&out); err != nil {
+			t.Fatalf("re-encoding an accepted trace failed: %v", err)
+		}
+		back, err := trace.Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding an accepted trace failed: %v", err)
+		}
+		if len(back.Events) != len(tr.Events) {
+			t.Fatalf("round trip changed event count: %d != %d", len(back.Events), len(tr.Events))
+		}
+	})
+}

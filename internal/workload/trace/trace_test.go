@@ -1,0 +1,272 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"albatross/internal/core"
+	"albatross/internal/errs"
+	"albatross/internal/packet"
+	"albatross/internal/pod"
+	"albatross/internal/service"
+	"albatross/internal/sim"
+	"albatross/internal/workload"
+	"albatross/internal/workload/trace"
+)
+
+// sampleTrace builds a small hand-made schedule covering the field ranges
+// the record encoding has to carry: target assignments and the -1
+// sentinel, zero offsets, repeated timestamps.
+func sampleTrace() *trace.Trace {
+	flows := workload.GenerateFlows(5, 3, 42)
+	t := &trace.Trace{Header: trace.Header{Note: "unit", Seed: 42, Nodes: 3}}
+	at := []sim.Duration{0, 10, 10, 250, 4000}
+	for i, f := range flows {
+		t.Events = append(t.Events, trace.Event{
+			At:    at[i],
+			Flow:  f,
+			Bytes: 64 + i,
+			Node:  i%3 - 1, // exercises -1 and real indices
+			Pod:   0,
+		})
+	}
+	return t
+}
+
+// TestTraceRoundTrip pins the wire format: write → read must reproduce the
+// events exactly and stamp the derived header fields.
+func TestTraceRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, orig.Events) {
+		t.Fatalf("events differ after round trip:\n got %+v\nwant %+v", got.Events, orig.Events)
+	}
+	if got.Header.Version != trace.Version || got.Header.Events != len(orig.Events) {
+		t.Fatalf("header not stamped: %+v", got.Header)
+	}
+	if got.Header.DurationNS != int64(orig.Span()) {
+		t.Fatalf("duration %d != span %d", got.Header.DurationNS, orig.Span())
+	}
+	// A second serialization of the decoded trace is byte-identical: the
+	// format has one canonical encoding.
+	var buf2 bytes.Buffer
+	if err := got.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialization is not byte-identical")
+	}
+}
+
+// TestTraceFileSidecar pins WriteFile's artifact pair: the binary loads
+// back, and the JSON sidecar exists next to it.
+func TestTraceFileSidecar(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.trace")
+	orig := sampleTrace()
+	if err := orig.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, orig.Events) {
+		t.Fatal("events differ after file round trip")
+	}
+	side, err := trace.ReadSidecar(path + ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if side.Events != len(orig.Events) || side.Seed != 42 {
+		t.Fatalf("sidecar header %+v does not match trace", side)
+	}
+}
+
+// TestTraceRejectsCorruption spot-checks the validation the fuzz harness
+// explores: truncation, bad magic, version skew, checksum damage — each
+// must fail with ErrBadTrace (and the errs.BadConfig sentinel).
+func TestTraceRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":         {},
+		"short magic":   good[:3],
+		"short header":  good[:14],
+		"truncated rec": good[:len(good)-7],
+	}
+	badMagic := bytes.Clone(good)
+	badMagic[0] = 'X'
+	cases["bad magic"] = badMagic
+	badVer := bytes.Clone(good)
+	badVer[4] = 99
+	cases["bad version"] = badVer
+	flipped := bytes.Clone(good)
+	flipped[len(flipped)-1] ^= 0xff
+	cases["checksum"] = flipped
+
+	for name, data := range cases {
+		if _, err := trace.Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted corrupt input", name)
+		} else if !errors.Is(err, trace.ErrBadTrace) || !errors.Is(err, errs.BadConfig) {
+			t.Errorf("%s: error %v does not wrap ErrBadTrace/errs.BadConfig", name, err)
+		}
+	}
+}
+
+// TestRecordReplayMetricsByteIdentical is the tentpole contract at node
+// scope: record a live run through a wrapped sink, replay the trace into a
+// freshly built identical node, and require the full metrics exports —
+// Prometheus text and JSON — to match byte for byte.
+func TestRecordReplayMetricsByteIdentical(t *testing.T) {
+	build := func() (*core.Node, *core.PodRuntime) {
+		n, err := core.NewNode(core.NodeConfig{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows := workload.GenerateFlows(500, 20, 7)
+		pr, err := n.AddPod(core.PodConfig{
+			Spec:  pod.Spec{Name: "gw", Service: service.VPCVPC, DataCores: 4, CtrlCores: 1, Mode: pod.ModePLB},
+			Flows: workload.ServiceFlows(flows, 0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, pr
+	}
+
+	flows := workload.GenerateFlows(500, 20, 7)
+	n1, p1 := build()
+	rec := trace.NewRecorder(n1.Engine)
+	src, err := workload.New(
+		workload.WithFlows(flows),
+		workload.WithRate(workload.ConstantRate(4e5)),
+		workload.WithSeed(99),
+		workload.WithSink(rec.WrapSink(p1.Sink())),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Start(n1.Engine); err != nil {
+		t.Fatal(err)
+	}
+	n1.RunFor(20 * sim.Millisecond)
+	src.Stop()
+	n1.RunFor(5 * sim.Millisecond)
+
+	var buf bytes.Buffer
+	if err := rec.Trace().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Events() == 0 || len(tr.Events) != rec.Events() {
+		t.Fatalf("recorded %d events, decoded %d", rec.Events(), len(tr.Events))
+	}
+
+	n2, p2 := build()
+	rp, err := trace.Replay(n2.Engine, tr, p2.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2.RunFor(25 * sim.Millisecond)
+	if !rp.Done() || rp.Injected != uint64(len(tr.Events)) {
+		t.Fatalf("replay incomplete: injected %d of %d", rp.Injected, len(tr.Events))
+	}
+
+	prom1, prom2 := n1.Metrics().Prometheus(), n2.Metrics().Prometheus()
+	if prom1 != prom2 {
+		t.Fatal("Prometheus exports differ between recorded run and replay")
+	}
+	j1, err := n1.Metrics().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := n2.Metrics().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("JSON exports differ between recorded run and replay")
+	}
+}
+
+// TestFromPcap pins the pcap → trace import: VXLAN frames written by the
+// repo's own pcap writer come back as events with the inner tenant flow,
+// and non-flow frames are counted as skipped, not dropped silently.
+func TestFromPcap(t *testing.T) {
+	var buf bytes.Buffer
+	pw := packet.NewPcapWriter(&buf, 0)
+	b := packet.NewBuilder(512)
+	specs := []struct {
+		vni   uint32
+		sport uint16
+		at    time.Duration
+	}{
+		{100, 1111, 0},
+		{200, 2222, 150 * time.Microsecond},
+		{100, 3333, 900 * time.Microsecond},
+	}
+	for _, s := range specs {
+		frame := packet.BuildVXLANPacket(b, &packet.VXLANSpec{
+			OuterSrc:   packet.IPv4FromUint32(0x0a000001),
+			OuterDst:   packet.IPv4FromUint32(0x0a000002),
+			VNI:        s.vni,
+			InnerSrc:   packet.IPv4FromUint32(0x0b000001),
+			InnerDst:   packet.IPv4FromUint32(0x0c000001),
+			InnerProto: packet.IPProtocolTCP,
+			InnerSPort: s.sport,
+			InnerDPort: 443,
+			PayloadLen: 32,
+		})
+		if err := pw.WritePacket(s.at, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One frame that is not parseable as a flow.
+	if err := pw.WritePacket(time.Millisecond, []byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, skipped, err := trace.FromPcap(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped %d frames, want 1", skipped)
+	}
+	if len(tr.Events) != len(specs) {
+		t.Fatalf("imported %d events, want %d", len(tr.Events), len(specs))
+	}
+	for i, s := range specs {
+		ev := tr.Events[i]
+		if ev.Flow.VNI != s.vni || ev.Flow.Tuple.SPort != s.sport {
+			t.Fatalf("event %d: flow %+v does not match spec %+v", i, ev.Flow, s)
+		}
+		if ev.At != sim.Duration(s.at) {
+			t.Fatalf("event %d at %d, want %d", i, ev.At, sim.Duration(s.at))
+		}
+		if ev.Node != -1 || ev.Pod != -1 {
+			t.Fatalf("event %d carries a target %d/%d, want unassigned", i, ev.Node, ev.Pod)
+		}
+	}
+	if tr.Header.Flows != 3 {
+		t.Fatalf("header flows %d, want 3", tr.Header.Flows)
+	}
+}

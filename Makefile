@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fmt-check metrics-check replay-check ci clean
+.PHONY: all build test vet race bench fmt-check metrics-check replay-check fleet-check ci clean
 
 all: build test
 
@@ -11,7 +11,7 @@ fmt-check:
 
 # The full gate: build, vet, formatting, unit tests, then the race-checked
 # packages. Runs staticcheck too when it is installed.
-ci: build vet fmt-check test race metrics-check replay-check
+ci: build vet fmt-check test race metrics-check replay-check fleet-check
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; staticcheck ./...; \
 	else echo "staticcheck not installed; skipping"; fi
@@ -32,13 +32,17 @@ vet:
 # The race detector slows the eval experiments ~10x, so the default 10m
 # per-package test timeout is not enough headroom.
 race:
-	$(GO) test -race -timeout 30m ./internal/eval/ ./internal/flowtable/ ./internal/cluster/ ./internal/core/ ./internal/workload/trace/
+	$(GO) test -race -timeout 30m ./internal/sim/ ./internal/eval/ ./internal/flowtable/ ./internal/cluster/ ./internal/core/ ./internal/workload/trace/
 
-# Runs the packet-path microbenchmarks (single node and 3-node cluster)
-# and records ns/op, B/op and allocs/op for each as a JSON array in
-# BENCH_packetpath.json for tracking across commits. The 3s benchtime
-# amortizes process cold-start so recorded numbers are stable.
+# Runs the packet-path microbenchmarks (single node and the 3-node /
+# 8-node / sharded cluster variants) and records ns/op, B/op and allocs/op
+# for each as a JSON array in BENCH_packetpath.json for tracking across
+# commits. The 3s benchtime amortizes process cold-start so recorded
+# numbers are stable. The guard test runs first, against the *committed*
+# baseline: it re-measures BenchmarkClusterPath and fails the target if the
+# single-engine cluster path regressed more than 10%.
 bench:
+	ALBATROSS_BENCH_GUARD=1 $(GO) test -run '^TestBenchGuard$$' -benchtime 3s -v .
 	$(GO) test -run '^$$' -bench 'BenchmarkPacketPath|BenchmarkClusterPath' -benchtime 3s -benchmem . | tee /dev/stderr | \
 	awk 'BEGIN { n = 0 } \
 	/^Benchmark(Packet|Cluster)Path/ { \
@@ -77,6 +81,24 @@ replay-check: build
 	rm -rf $$tmp; \
 	if [ $$rc -ne 0 ]; then echo "replay-check: replay diverged from the recorded run"; exit 1; fi; \
 	echo "replay-check: replayed run byte-identical to the recorded run"
+
+# Region-scale smoke gate: a 1000-node cluster run completes under a tight
+# wall-clock budget, and its stdout is byte-identical on the single shared
+# engine (-shards 1) and on four shard engines (-shards 4) — the sharded
+# execution tentpole at fleet width. The 1MB cache model keeps 1000-node
+# construction cheap; a NodeCrash mid-run exercises the cross-shard fault
+# sync path at scale.
+FLEET_FLAGS = -nodes 1000 -cache-mb 1 -flows 10000 -rate 2e6 -duration 30ms -seed 3 \
+	-fault nodecrash@10ms,node=17,dur=40ms
+fleet-check: build
+	@tmp=$$(mktemp -d); rc=0; \
+	$(GO) build -o $$tmp/asim ./cmd/albatross-sim; \
+	timeout 240 $$tmp/asim $(FLEET_FLAGS) -shards 1 > $$tmp/s1.txt 2>/dev/null || rc=1; \
+	timeout 240 $$tmp/asim $(FLEET_FLAGS) -shards 4 > $$tmp/s4.txt 2>/dev/null || rc=1; \
+	cmp $$tmp/s1.txt $$tmp/s4.txt || rc=1; \
+	rm -rf $$tmp; \
+	if [ $$rc -ne 0 ]; then echo "fleet-check: 1000-node run failed or diverged across shard counts"; exit 1; fi; \
+	echo "fleet-check: 1000-node output byte-identical at shards=1 and shards=4"
 
 clean:
 	rm -f BENCH_packetpath.json albatross-bench

@@ -1,0 +1,54 @@
+package albatross
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchRecord mirrors one entry of BENCH_packetpath.json (written by
+// `make bench`).
+type benchRecord struct {
+	Benchmark  string `json:"benchmark"`
+	NsPerOp    int64  `json:"ns_per_op"`
+	BytesPerOp int64  `json:"bytes_per_op"`
+	AllocsOp   int64  `json:"allocs_per_op"`
+}
+
+// TestBenchGuard re-measures the single-engine cluster packet path and
+// fails when it has regressed more than 10% against the committed
+// BENCH_packetpath.json baseline. It is the tripwire for the sharded
+// execution layer: shards=1 must keep the legacy hot path (one predicted
+// branch is the entire budget). Benchmarks are too noisy for `go test`
+// defaults, so the guard only arms under ALBATROSS_BENCH_GUARD=1 —
+// `make bench` sets it before re-recording the baseline.
+func TestBenchGuard(t *testing.T) {
+	if os.Getenv("ALBATROSS_BENCH_GUARD") != "1" {
+		t.Skip("set ALBATROSS_BENCH_GUARD=1 to arm (done by `make bench`)")
+	}
+	data, err := os.ReadFile("BENCH_packetpath.json")
+	if err != nil {
+		t.Fatalf("no committed baseline: %v", err)
+	}
+	var records []benchRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("parsing BENCH_packetpath.json: %v", err)
+	}
+	var baseline int64
+	for _, r := range records {
+		if r.Benchmark == "BenchmarkClusterPath" {
+			baseline = r.NsPerOp
+		}
+	}
+	if baseline == 0 {
+		t.Fatal("BenchmarkClusterPath not in committed baseline")
+	}
+
+	res := testing.Benchmark(BenchmarkClusterPath)
+	got := res.NsPerOp()
+	limit := baseline + baseline/10
+	t.Logf("BenchmarkClusterPath: %d ns/op (baseline %d, limit %d)", got, baseline, limit)
+	if got > limit {
+		t.Fatalf("cluster path regressed >10%%: %d ns/op vs %d ns/op baseline", got, baseline)
+	}
+}

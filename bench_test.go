@@ -222,11 +222,11 @@ func BenchmarkPacketPathRecorded(b *testing.B) {
 	}
 }
 
-// BenchmarkClusterPath measures the same path through a 3-node cluster:
-// consistent-hash ECMP spray plus the full per-node staged pipeline. The
-// delta over BenchmarkPacketPath is the cluster layer's per-packet cost.
-func BenchmarkClusterPath(b *testing.B) {
-	cl, err := NewCluster(WithSeed(1), WithNodes(3))
+// benchClusterPath drives the cluster packet path — consistent-hash ECMP
+// spray plus the full per-node staged pipeline — at the given width and
+// shard count.
+func benchClusterPath(b *testing.B, nodes, shards int) {
+	cl, err := NewCluster(WithSeed(1), WithNodes(nodes), WithShards(shards))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -260,3 +260,19 @@ func BenchmarkClusterPath(b *testing.B) {
 		b.Fatal("no packets emitted")
 	}
 }
+
+// BenchmarkClusterPath measures the cluster path through a 3-node cluster
+// on the single shared engine (shards pinned to 1 so the number tracks the
+// same code path across hosts). The delta over BenchmarkPacketPath is the
+// cluster layer's per-packet cost.
+func BenchmarkClusterPath(b *testing.B) { benchClusterPath(b, 3, 1) }
+
+// BenchmarkClusterPath8 is the 8-node single-engine baseline for the
+// sharded comparison below: same width, shards=1.
+func BenchmarkClusterPath8(b *testing.B) { benchClusterPath(b, 8, 1) }
+
+// BenchmarkClusterPathSharded is the 8-node cluster on auto shards
+// (min(GOMAXPROCS, 8) shard engines). Against BenchmarkClusterPath8 it
+// shows the conservative-parallel speedup; on a single-core host the two
+// tie (auto resolves to 1 shard) and the delta is the protocol overhead.
+func BenchmarkClusterPathSharded(b *testing.B) { benchClusterPath(b, 8, 0) }

@@ -123,6 +123,13 @@ func runCluster(cr clusterRun) {
 	}
 	fmt.Printf("  cluster tx  %12d pkts (%.2f Mpps)\n", totTx, float64(totTx)/secs/1e6)
 
+	// Execution-strategy telemetry goes to stderr only: stdout stays
+	// byte-identical at any shard count (sharding is a pure speedup).
+	wallD := time.Since(wall)
+	fmt.Fprintf(os.Stderr, "  shards      %d engine shard(s) over %d nodes; wall %v, %.2f Mpps wall-rate\n",
+		cl.Shards(), len(members), wallD.Round(time.Millisecond),
+		float64(cl.Sprayed)/wallD.Seconds()/1e6)
+
 	if cr.hasFaults {
 		fmt.Println("  faults:")
 		for _, e := range cl.FaultLog() {

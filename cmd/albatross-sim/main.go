@@ -42,6 +42,8 @@ func main() {
 		pcapOut  = flag.String("pcap", "", "write a sample of generated traffic (first 1000 packets) to this pcap file")
 		autoFB   = flag.Bool("autofallback", false, "arm the reorder-timeout watchdog that falls back PLB->RSS")
 		nodes    = flag.Int("nodes", 1, "gateway servers; >1 deploys a cluster behind consistent-hash ECMP")
+		shards   = flag.Int("shards", 0, "engine shards for a cluster: 0 = auto (min(GOMAXPROCS, nodes)), 1 = single shared engine; stdout is byte-identical at any value")
+		cacheMB  = flag.Int("cache-mb", 0, "per-NUMA L3 cache model size in MiB (0 = model default 100; shrink for 1000-node fleets)")
 		metrics  = flag.String("metrics-out", "", "write the final metrics snapshot to PREFIX.prom and PREFIX.json")
 
 		recordOut   = flag.String("record", "", "record the injection schedule to this trace file (plus a .json header sidecar)")
@@ -60,7 +62,7 @@ func main() {
 	flag.Parse()
 
 	if *replayDiff != "" {
-		runReplayDiffCmd(*replayDiff)
+		runReplayDiffCmd(*replayDiff, *shards)
 		return
 	}
 	if *outcomeOut != "" && *nodes <= 1 {
@@ -81,6 +83,11 @@ func main() {
 	opts := []albatross.Option{albatross.WithSeed(*seed)}
 	if *limiter {
 		opts = append(opts, albatross.WithLimiter(albatross.DefaultLimiterConfig()))
+	}
+	if *cacheMB > 0 {
+		opts = append(opts, albatross.WithCache(albatross.CacheConfig{
+			SizeBytes: *cacheMB << 20, Ways: 16, LineBytes: 64,
+		}))
 	}
 	if len(ff.plan.Faults) > 0 {
 		opts = append(opts, albatross.WithFaultPlan(&ff.plan))
@@ -104,7 +111,8 @@ func main() {
 
 	if *nodes > 1 {
 		runCluster(clusterRun{
-			opts: append(opts, albatross.WithNodes(*nodes)), podCfg: podCfg(),
+			opts:    append(opts, albatross.WithNodes(*nodes), albatross.WithShards(*shards)),
+			podCfg:  podCfg(),
 			svcName: *svcName, cores: *cores, flows: *flows,
 			tenants: *tenants, rate: *rate, duration: *duration, seed: *seed,
 			autoFB: *autoFB, report: *report, hasFaults: len(ff.plan.Faults) > 0,

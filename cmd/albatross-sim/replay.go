@@ -13,8 +13,10 @@ import (
 
 // runReplayDiffCmd is the -replay-diff A,B mode: load two outcome report
 // files (written by -outcome-out), print their structural diff, and exit
-// nonzero when they differ — the gameday-drill assertion as a shell one-liner.
-func runReplayDiffCmd(spec string) {
+// nonzero when they differ — the gameday-drill assertion as a shell
+// one-liner. When -shards > 1 is also given, differing node lines are
+// labeled with the shard engine that owned them in the sharded run.
+func runReplayDiffCmd(spec string, shards int) {
 	pathA, pathB, ok := strings.Cut(spec, ",")
 	if !ok {
 		fmt.Fprintln(os.Stderr, "-replay-diff wants two outcome files: A,B")
@@ -31,6 +33,7 @@ func runReplayDiffCmd(spec string) {
 		os.Exit(1)
 	}
 	d := albatross.DiffOutcomes(pathA, string(a), pathB, string(b))
+	d.AnnotateShards(shards)
 	fmt.Print(d.String())
 	if !d.Empty() {
 		os.Exit(1)

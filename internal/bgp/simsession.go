@@ -36,6 +36,10 @@ type SimSession struct {
 	lastRx        sim.Time // virtual time of last received probe
 	goodRx        int      // consecutive received probes since link restore
 	downedAt      sim.Time
+	// nextProbeAt / readvertiseAt mirror the armed timers so NextTransition
+	// can expose a conservative lookahead bound without touching the heap.
+	nextProbeAt   sim.Time
+	readvertiseAt sim.Time // zero when no re-advertisement is pending
 
 	stats SimSessionStats
 }
@@ -90,6 +94,7 @@ func NewSimSession(engine *sim.Engine, cfg SimSessionConfig) (*SimSession, error
 		routeUp: true,
 		lastRx:  engine.Now(),
 	}
+	s.nextProbeAt = engine.Now().Add(cfg.TxInterval)
 	engine.AfterArg(cfg.TxInterval, simSessionProbe, s)
 	return s, nil
 }
@@ -105,6 +110,26 @@ func (s *SimSession) BFDUp() bool { return s.bfdUp }
 
 // Stats returns a snapshot of the counters.
 func (s *SimSession) Stats() SimSessionStats { return s.stats }
+
+// NextTransition returns a conservative lower bound on the next virtual
+// time at which the session's externally visible state (RouteUp) could
+// change: TimeMax while the session is settled (route advertised, link up,
+// no flap in progress), else the next probe tick or pending
+// re-advertisement, whichever is sooner. Sharded cluster runs use it as the
+// lookahead horizon — control-plane work strictly before the bound may
+// read RouteUp without advancing this session's engine. The bound is always
+// strictly in the future: probe and re-advertisement times are re-armed
+// before their handlers return.
+func (s *SimSession) NextTransition() sim.Time {
+	if s.routeUp && !s.flapActive {
+		return sim.TimeMax
+	}
+	b := s.nextProbeAt
+	if s.readvertiseAt != 0 && s.readvertiseAt < b {
+		b = s.readvertiseAt
+	}
+	return b
+}
 
 // DetectionWindow returns the worst-case detection latency,
 // DetectMult×TxInterval plus up to one probe interval of grid quantization.
@@ -149,6 +174,7 @@ func simSessionProbe(arg any) {
 			s.goodRx++
 			if s.goodRx >= 2 {
 				s.bfdUp = true
+				s.readvertiseAt = now.Add(s.cfg.ReestablishDelay)
 				s.engine.AfterArg(s.cfg.ReestablishDelay, simSessionReadvertise, s)
 			}
 		}
@@ -163,11 +189,13 @@ func simSessionProbe(arg any) {
 			s.cfg.OnDown(now)
 		}
 	}
+	s.nextProbeAt = now.Add(s.cfg.TxInterval)
 	s.engine.AfterArg(s.cfg.TxInterval, simSessionProbe, s)
 }
 
 func simSessionReadvertise(arg any) {
 	s := arg.(*SimSession)
+	s.readvertiseAt = 0
 	if !s.bfdUp || s.routeUp {
 		// A new flap won the race, or already advertised.
 		return

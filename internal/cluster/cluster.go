@@ -16,6 +16,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -25,6 +26,7 @@ import (
 	"albatross/internal/metrics"
 	"albatross/internal/sim"
 	"albatross/internal/workload"
+	"albatross/internal/workload/trace"
 )
 
 // Config parameterizes a cluster.
@@ -44,6 +46,13 @@ type Config struct {
 	// Faults, when non-nil, arms a deterministic cluster-level fault plan
 	// (node- and pod-level kinds; Fault.Node selects the member).
 	Faults *faults.Plan
+	// Shards partitions the members onto per-shard event engines so a run
+	// uses multiple cores: 0 = auto (min(GOMAXPROCS, Nodes)), 1 = the
+	// legacy single shared engine, k > 1 = k shard engines driven by a
+	// control engine under the conservative exchange protocol (see
+	// internal/sim.ShardedEngine). Outcome reports and metrics exports are
+	// byte-identical at any shard count.
+	Shards int
 }
 
 // memberState tracks a member's lifecycle for reporting; ECMP eligibility
@@ -87,13 +96,24 @@ type Member struct {
 	// Drains and Crashes count node-level fault activations.
 	Drains  uint64
 	Crashes uint64
+
+	// shard is the engine shard owning this member (0 on the legacy path).
+	shard int
 }
+
+// Shard returns the engine shard that owns the member (0 when the cluster
+// runs on the legacy single shared engine).
+func (m *Member) Shard() int { return m.shard }
 
 // State returns the member's lifecycle state name.
 func (m *Member) State() string { return m.state.String() }
 
 // Cluster is a set of Albatross nodes behind consistent-hash ECMP.
 type Cluster struct {
+	// Engine is the clock cluster-coupling state advances on: the shared
+	// engine when Shards <= 1, the control engine of the sharded protocol
+	// otherwise. Workload sources, fault plans, and trace record/replay all
+	// attach here in both modes.
 	Engine *sim.Engine
 
 	cfg      Config
@@ -105,6 +125,12 @@ type Cluster struct {
 	// eligibleFn is the ring's eligibility probe, bound once so Inject
 	// stays allocation-free.
 	eligibleFn func(int) bool
+	// sharded is the multi-shard protocol driver (nil when Shards <= 1);
+	// shards is the effective shard count (1 on the legacy path); mail
+	// holds the per-shard cross-shard injection mailboxes.
+	sharded *sim.ShardedEngine
+	shards  int
+	mail    []shardMailbox
 
 	// Sprayed counts ingress packets offered to the ECMP layer; Remapped
 	// counts those delivered to a member other than their ring home (the
@@ -135,10 +161,29 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.VNodesPerNode < 1 {
 		return nil, fmt.Errorf("cluster: VNodesPerNode %d must be positive: %w", cfg.VNodesPerNode, errs.BadConfig)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("cluster: Shards %d must be >= 0: %w", cfg.Shards, errs.BadConfig)
+	}
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > cfg.Nodes {
+		shards = cfg.Nodes
+	}
 	c := &Cluster{
-		Engine: sim.NewEngine(),
 		cfg:    cfg,
 		ring:   newRing(cfg.VNodesPerNode),
+		shards: shards,
+	}
+	if shards > 1 {
+		c.sharded = sim.NewShardedEngine(shards)
+		c.Engine = c.sharded.Control()
+		c.mail = make([]shardMailbox, shards)
+		c.sharded.SetAdvance(c.advanceShard)
+		c.sharded.SetBoundary(c.nextBoundary)
+	} else {
+		c.Engine = sim.NewEngine()
 	}
 	c.eligibleFn = c.eligible
 	for i := 0; i < cfg.Nodes; i++ {
@@ -159,9 +204,10 @@ func New(cfg Config) (*Cluster, error) {
 // addMember builds, uplinks, and ring-registers the next member.
 func (c *Cluster) addMember() (*Member, error) {
 	i := len(c.members)
+	shard := trace.ShardOfNode(i, c.shards)
 	ncfg := c.cfg.Node
 	ncfg.Seed = memberSeed(c.cfg.Seed, i)
-	ncfg.Engine = c.Engine
+	ncfg.Engine = c.engineOf(shard)
 	ncfg.Faults = nil
 	n, err := core.NewNode(ncfg)
 	if err != nil {
@@ -172,7 +218,7 @@ func (c *Cluster) addMember() (*Member, error) {
 	if _, err := n.EnableUplink(false); err != nil {
 		return nil, err
 	}
-	m := &Member{Index: i, Node: n}
+	m := &Member{Index: i, Node: n, shard: shard}
 	c.members = append(c.members, m)
 	c.ring.add(i)
 	return m, nil
@@ -219,13 +265,18 @@ func (c *Cluster) memberAt(i int) (*Member, error) {
 }
 
 // NodeAt resolves member i as a pod-level fault target. Implements
-// faults.NodeTarget.
+// faults.NodeTarget. On a sharded cluster the target is wrapped so every
+// pod-level fault synchronizes the shards to the control clock first — the
+// fault mutates node state owned by a shard engine.
 func (c *Cluster) NodeAt(i int) (faults.Target, error) {
 	m, err := c.memberAt(i)
 	if err != nil {
 		return nil, err
 	}
-	return m.Node, nil
+	if c.sharded == nil {
+		return m.Node, nil
+	}
+	return &syncedTarget{c: c, n: m.Node}, nil
 }
 
 // eligible reports whether the switch would ECMP traffic to member i: the
@@ -253,7 +304,11 @@ func (c *Cluster) Route(f workload.Flow) (home, owner int) {
 }
 
 // Inject sprays one packet through ECMP into the owning member's ingress
-// pod. Packets with no eligible member are dropped at the switch.
+// pod. Packets with no eligible member are dropped at the switch. On a
+// sharded cluster the routing decision and ECMP counters happen here on
+// the control clock (eligibility is frozen below the lookahead horizon, so
+// the decision is exact), while the pod pipeline work is buffered into the
+// owning shard's mailbox and executed by the shard worker.
 func (c *Cluster) Inject(f workload.Flow, bytes int) {
 	c.Sprayed++
 	home, owner := c.ring.lookup(flowHash(f), c.eligibleFn)
@@ -271,6 +326,10 @@ func (c *Cluster) Inject(f workload.Flow, bytes int) {
 		c.Drops++
 		return
 	}
+	if c.sharded != nil {
+		c.post(m, f, bytes)
+		return
+	}
 	// Ingress lands on pod 0; further pods are upgrade/crash siblings that
 	// receive traffic via the node's redirect machinery.
 	pods[0].Inject(f, bytes)
@@ -281,8 +340,29 @@ func (c *Cluster) Sink() func(workload.Flow, int) {
 	return func(f workload.Flow, bytes int) { c.Inject(f, bytes) }
 }
 
-// RunFor advances the shared virtual clock.
-func (c *Cluster) RunFor(d sim.Duration) { c.Engine.RunFor(d) }
+// RunFor advances the cluster's virtual clock: the shared engine on the
+// legacy path, the full epoch protocol (control plus all shards, in
+// parallel) when sharded.
+func (c *Cluster) RunFor(d sim.Duration) {
+	if c.sharded != nil {
+		c.sharded.RunFor(d)
+		return
+	}
+	c.Engine.RunFor(d)
+}
+
+// Shards returns the effective shard count (1 = legacy shared engine).
+func (c *Cluster) Shards() int { return c.shards }
+
+// Pending returns the live scheduled-event count across every engine in
+// the cluster. Safe to call from any goroutine mid-run: sharded engines
+// expose the count through atomic mirrors.
+func (c *Cluster) Pending() int {
+	if c.sharded != nil {
+		return c.sharded.Pending()
+	}
+	return c.Engine.Pending()
+}
 
 // InjectNodeCrash kills member node abruptly: the uplink goes down (BFD
 // detects after its probe window; arrivals meanwhile are blackholed at the
@@ -300,6 +380,10 @@ func (c *Cluster) InjectNodeCrash(node int, d sim.Duration) error {
 	if d <= 0 {
 		d = foreverDuration
 	}
+	// The crash mutates shard-owned state (the uplink session, pod
+	// lifecycles): bring every shard to the control clock first so the
+	// mutation interleaves exactly as on the shared engine.
+	c.syncShards()
 	m.state = memberCrashed
 	m.Crashes++
 	m.Node.Uplink().InjectFlap(d)
@@ -334,6 +418,8 @@ func (c *Cluster) InjectNodeDrain(node int, d sim.Duration) error {
 	if m.state != memberActive {
 		return fmt.Errorf("cluster: node %d is %v, not active: %w", node, m.state, errs.BadState)
 	}
+	// Pod drains arm timers on the owning shard's engine.
+	c.syncShards()
 	m.state = memberDraining
 	m.Drains++
 	if until := c.Engine.Now().Add(d); until > m.adminUntil {
@@ -356,7 +442,9 @@ func (c *Cluster) InjectNodeDrain(node int, d sim.Duration) error {
 
 // InjectUplinkWithdraw administratively withdraws member node's route for
 // d without touching its pods (drain-the-uplink). Implements
-// faults.NodeTarget.
+// faults.NodeTarget. No shard synchronization is needed: the withdrawal
+// only moves adminUntil, a control-plane time threshold the ECMP layer
+// evaluates exactly at each arrival's own timestamp.
 func (c *Cluster) InjectUplinkWithdraw(node int, d sim.Duration) error {
 	m, err := c.memberAt(node)
 	if err != nil {

@@ -1,0 +1,163 @@
+package cluster
+
+// Sharded execution: the cluster's members are partitioned across the
+// shard engines of a sim.ShardedEngine (member i on shard i mod k, the
+// canonical trace.ShardOfNode assignment), while everything that couples
+// members — the workload arrival process, the fault injector, the ECMP
+// spray decision — runs on the control engine.
+//
+// Members interact with the rest of the cluster at exactly two points, and
+// both already flow through the control plane:
+//
+//   - The ECMP ring reads each member's route eligibility (BGP RouteUp
+//     plus the administrative adminUntil threshold) when an arrival is
+//     sprayed. RouteUp only changes inside shard-local BFD probe and
+//     re-advertisement events, and each session exposes a conservative
+//     lower bound on its next possible change (bgp.SimSession.
+//     NextTransition). The minimum over members is the cluster's lookahead
+//     horizon: arrivals strictly below it can be routed on the control
+//     engine without advancing any shard, which is what lets thousands of
+//     routing decisions amortize one shard barrier.
+//   - Packet delivery into the owning member's ingress pod. Deliveries are
+//     value-typed mailbox entries (no boxing, no per-packet allocation)
+//     consumed by the owning shard's worker in (timestamp, control order)
+//     — a deterministic merge, since the control engine is the only
+//     producer and it runs single-threaded.
+//
+// Node-granularity faults mutate shard-owned state (uplink sessions, pod
+// lifecycles), so they first bring every shard to the control clock
+// (SyncShards) and invalidate the horizon. Everything else — ECMP
+// counters, member lifecycle bookkeeping, recovery timers — is
+// control-plane state and never races a shard worker: shards are quiescent
+// (parked at the epoch barrier) whenever control events run.
+
+import (
+	"albatross/internal/core"
+	"albatross/internal/faults"
+	"albatross/internal/sim"
+	"albatross/internal/workload"
+)
+
+// mailEntry is one buffered cross-shard packet delivery.
+type mailEntry struct {
+	at     sim.Time
+	member int32
+	bytes  int32
+	flow   workload.Flow
+}
+
+// shardMailbox buffers control→shard deliveries between epoch barriers.
+// The control goroutine appends while the shard worker is parked; the
+// worker consumes while the control goroutine waits at the barrier — the
+// spawn/join edges of each epoch order the two. The backing array is
+// recycled once fully drained.
+type shardMailbox struct {
+	queue []mailEntry
+	next  int
+}
+
+// engineOf returns the engine members of the given shard run on.
+func (c *Cluster) engineOf(shard int) *sim.Engine {
+	if c.sharded == nil {
+		return c.Engine
+	}
+	return c.sharded.Shard(shard)
+}
+
+// post buffers a delivery for m's shard at the current control time.
+func (c *Cluster) post(m *Member, f workload.Flow, bytes int) {
+	mb := &c.mail[m.shard]
+	if mb.next > 0 && mb.next == len(mb.queue) {
+		mb.queue = mb.queue[:0]
+		mb.next = 0
+	}
+	mb.queue = append(mb.queue, mailEntry{
+		at:     c.Engine.Now(),
+		member: int32(m.Index),
+		bytes:  int32(bytes),
+		flow:   f,
+	})
+}
+
+// advanceShard is the ShardedEngine advance hook: move one shard to target,
+// interleaving its mailbox with its event loop. Each delivery lands after
+// every shard-local event at or before its timestamp — the legacy engine's
+// tie order, where the pipeline and probe timers racing an arrival were
+// armed earlier and so carry smaller sequence numbers. Runs on the shard's
+// worker goroutine at the epoch barrier (or on the control goroutine
+// inside a SyncShards).
+func (c *Cluster) advanceShard(shard int, target sim.Time) {
+	mb := &c.mail[shard]
+	eng := c.sharded.Shard(shard)
+	for mb.next < len(mb.queue) {
+		e := &mb.queue[mb.next]
+		if e.at > target {
+			break
+		}
+		mb.next++
+		eng.RunUntil(e.at)
+		pods := c.members[e.member].Node.Pods()
+		pods[0].Inject(e.flow, int(e.bytes))
+	}
+	eng.RunUntil(target)
+}
+
+// nextBoundary is the ShardedEngine lookahead hook: the earliest future
+// virtual time at which any member's route eligibility could change.
+func (c *Cluster) nextBoundary() sim.Time {
+	b := sim.TimeMax
+	for _, m := range c.members {
+		if t := m.Node.Uplink().NextTransition(); t < b {
+			b = t
+		}
+	}
+	return b
+}
+
+// syncShards brings every shard to the control clock before a control
+// event touches shard-owned state. No-op on the legacy path.
+func (c *Cluster) syncShards() {
+	if c.sharded != nil {
+		c.sharded.SyncShards()
+	}
+}
+
+// syncedTarget wraps a member node's pod-level fault target so every
+// injection synchronizes the shards to the control clock first: the fault
+// arms timers on (and mutates state of) the owning shard's engine.
+type syncedTarget struct {
+	c *Cluster
+	n *core.Node
+}
+
+var _ faults.Target = (*syncedTarget)(nil)
+
+func (t *syncedTarget) InjectCoreStall(pod, core int, factor float64, d sim.Duration) error {
+	t.c.syncShards()
+	return t.n.InjectCoreStall(pod, core, factor, d)
+}
+
+func (t *syncedTarget) InjectCoreFail(pod, core int, d sim.Duration) error {
+	t.c.syncShards()
+	return t.n.InjectCoreFail(pod, core, d)
+}
+
+func (t *syncedTarget) InjectPodCrash(pod int, graceful bool, restartAfter sim.Duration) error {
+	t.c.syncShards()
+	return t.n.InjectPodCrash(pod, graceful, restartAfter)
+}
+
+func (t *syncedTarget) InjectReorderStress(pod, queue int, d sim.Duration, holdHeads bool, depthClamp int) error {
+	t.c.syncShards()
+	return t.n.InjectReorderStress(pod, queue, d, holdHeads, depthClamp)
+}
+
+func (t *syncedTarget) InjectRxLoss(pod, core int, prob float64, d sim.Duration) error {
+	t.c.syncShards()
+	return t.n.InjectRxLoss(pod, core, prob, d)
+}
+
+func (t *syncedTarget) InjectBGPFlap(d sim.Duration) error {
+	t.c.syncShards()
+	return t.n.InjectBGPFlap(d)
+}

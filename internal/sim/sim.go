@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,6 +40,10 @@ const (
 	Millisecond          = 1000 * Microsecond
 	Second               = 1000 * Millisecond
 )
+
+// TimeMax is the largest representable virtual time; boundary functions
+// return it to mean "no upcoming transition".
+const TimeMax = Time(math.MaxInt64)
 
 // FromStd converts a time.Duration to a sim.Duration.
 func FromStd(d time.Duration) Duration { return Duration(d.Nanoseconds()) }
@@ -90,6 +95,14 @@ type Engine struct {
 	stopped bool
 	// executed counts events processed; useful to detect livelock in tests.
 	executed uint64
+
+	// shared marks an engine attached to a ShardedEngine: every live-count
+	// change is mirrored into pendingAtomic so Pending() can be read from
+	// other goroutines (coordinator, monitors) without racing the shard
+	// worker. Off the sharded path the mirror is never touched, so the
+	// single-engine hot path pays one predicted-not-taken branch.
+	shared        bool
+	pendingAtomic atomic.Int64
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -123,6 +136,9 @@ func (t Timer) Stop() bool {
 	t.ev.fn = nil
 	t.ev.arg = nil // free the reference now; the shell stays queued
 	t.e.live--
+	if t.e.shared {
+		t.e.pendingAtomic.Store(int64(t.e.live))
+	}
 	t.e.dead++
 	t.e.maybeCompact()
 	return true
@@ -185,6 +201,9 @@ func (e *Engine) AtArg(at Time, fn func(any), arg any) Timer {
 	e.heap = append(e.heap, ev)
 	e.siftUp(len(e.heap) - 1)
 	e.live++
+	if e.shared {
+		e.pendingAtomic.Store(int64(e.live))
+	}
 	return Timer{e: e, ev: ev, gen: ev.gen}
 }
 
@@ -298,6 +317,9 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.live--
+		if e.shared {
+			e.pendingAtomic.Store(int64(e.live))
+		}
 		e.now = ev.at
 		e.executed++
 		fn, arg := ev.fn, ev.arg
@@ -348,8 +370,36 @@ func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending returns the number of live queued events. It is O(1): the engine
-// maintains the count across push/pop/cancel.
-func (e *Engine) Pending() int { return e.live }
+// maintains the count across push/pop/cancel. On an engine attached to a
+// ShardedEngine the count is read from an atomic mirror, so callers on
+// other goroutines (progress monitors, the coordinator) never race the
+// shard worker.
+func (e *Engine) Pending() int {
+	if e.shared {
+		return int(e.pendingAtomic.Load())
+	}
+	return e.live
+}
+
+// markShared switches Pending() to the atomic mirror; called when the
+// engine is attached to a ShardedEngine.
+func (e *Engine) markShared() {
+	e.shared = true
+	e.pendingAtomic.Store(int64(e.live))
+}
+
+// NextEventTime returns the timestamp of the earliest live pending event,
+// skipping (and reclaiming) cancelled shells at the heap root.
+func (e *Engine) NextEventTime() (Time, bool) {
+	for len(e.heap) > 0 {
+		if ev := e.heap[0]; !ev.dead {
+			return ev.at, true
+		}
+		e.dead--
+		e.recycle(e.pop())
+	}
+	return 0, false
+}
 
 // Rand is a deterministic pseudo-random source for simulation components.
 // It is a 64-bit SplitMix64/xorshift* generator: tiny, fast, and stable

@@ -38,6 +38,10 @@ type Config struct {
 	// Nodes is the deployment width: 1 = a single Node (New), >1 = a
 	// multi-node Cluster behind consistent-hash ECMP (NewCluster).
 	Nodes int
+	// Shards partitions a cluster across engine shards: 0 = auto
+	// (min(GOMAXPROCS, Nodes)), 1 = single shared engine, k > 1 = k shard
+	// engines. Outcomes are byte-identical at any shard count.
+	Shards int
 }
 
 // Option configures a deployment built with New or NewCluster. Options
@@ -80,6 +84,15 @@ func WithNodes(n int) Option {
 	return func(c *Config) { c.Nodes = n }
 }
 
+// WithShards partitions a NewCluster deployment across n engine shards so
+// a run uses up to n cores: 0 (the default) auto-sizes to
+// min(GOMAXPROCS, nodes), 1 forces the single shared engine. Sharding is
+// a pure execution strategy — Outcome reports and metrics exports are
+// byte-identical at any shard count.
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
+
 func resolve(opts []Option) Config {
 	var cfg Config
 	for _, opt := range opts {
@@ -114,6 +127,7 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 		Seed:   cfg.Node.Seed,
 		Node:   cfg.Node,
 		Faults: plan,
+		Shards: cfg.Shards,
 	})
 }
 

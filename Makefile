@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fmt-check metrics-check replay-check fleet-check ci clean
+.PHONY: all build test vet race bench fmt-check metrics-check replay-check fleet-check gameday ci clean
 
 all: build test
 
@@ -11,7 +11,7 @@ fmt-check:
 
 # The full gate: build, vet, formatting, unit tests, then the race-checked
 # packages. Runs staticcheck too when it is installed.
-ci: build vet fmt-check test race metrics-check replay-check fleet-check
+ci: build vet fmt-check test race metrics-check replay-check fleet-check gameday
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; staticcheck ./...; \
 	else echo "staticcheck not installed; skipping"; fi
@@ -32,7 +32,7 @@ vet:
 # The race detector slows the eval experiments ~10x, so the default 10m
 # per-package test timeout is not enough headroom.
 race:
-	$(GO) test -race -timeout 30m ./internal/sim/ ./internal/eval/ ./internal/flowtable/ ./internal/cluster/ ./internal/core/ ./internal/workload/trace/
+	$(GO) test -race -timeout 30m ./internal/sim/ ./internal/eval/ ./internal/flowtable/ ./internal/cluster/ ./internal/core/ ./internal/workload/trace/ ./internal/scenario/
 
 # Runs the packet-path microbenchmarks (single node and the 3-node /
 # 8-node / sharded cluster variants) and records ns/op, B/op and allocs/op
@@ -99,6 +99,25 @@ fleet-check: build
 	rm -rf $$tmp; \
 	if [ $$rc -ne 0 ]; then echo "fleet-check: 1000-node run failed or diverged across shard counts"; exit 1; fi; \
 	echo "fleet-check: 1000-node output byte-identical at shards=1 and shards=4"
+
+# Gameday gate: every committed scenario must validate, run with all of
+# its declared assertions passing, and print byte-identical stdout on a
+# repeat run (the per-scenario assertions already cover shard-count and
+# replay identity where the scenario declares them).
+gameday: build
+	@tmp=$$(mktemp -d); rc=0; \
+	$(GO) build -o $$tmp/asim ./cmd/albatross-sim; \
+	$$tmp/asim validate scenarios/*.yaml || rc=1; \
+	for f in scenarios/*.yaml; do \
+		name=$$(basename $$f .yaml); \
+		timeout 240 $$tmp/asim run $$f > $$tmp/$$name.1 2>/dev/null || { echo "gameday: $$f FAILED"; rc=1; continue; }; \
+		timeout 240 $$tmp/asim run $$f > $$tmp/$$name.2 2>/dev/null || { echo "gameday: $$f FAILED on repeat"; rc=1; continue; }; \
+		cmp -s $$tmp/$$name.1 $$tmp/$$name.2 || { echo "gameday: $$f stdout differs across repeat runs"; rc=1; continue; }; \
+		tail -1 $$tmp/$$name.1; \
+	done; \
+	rm -rf $$tmp; \
+	if [ $$rc -ne 0 ]; then echo "gameday: scenario gate failed"; exit 1; fi; \
+	echo "gameday: all scenarios passed, stdout repeat-identical"
 
 clean:
 	rm -f BENCH_packetpath.json albatross-bench

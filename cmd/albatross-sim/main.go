@@ -1,8 +1,17 @@
-// Command albatross-sim runs one configurable Albatross gateway simulation
-// and prints a throughput/latency summary — a workbench for exploring the
-// platform outside the canned paper experiments.
+// Command albatross-sim runs Albatross gateway simulations — a workbench
+// for exploring the platform outside the canned paper experiments.
 //
-// Example:
+// The primary entry point is the declarative scenario runner:
+//
+//	albatross-sim run scenarios/node-crash.yaml
+//	albatross-sim validate scenarios/*.yaml
+//	albatross-sim replay-diff outcome-a.txt outcome-b.txt
+//
+// A scenario file declares the fleet, workload, timed fault script, and an
+// assertions block; `run` executes it and exits non-zero when an assertion
+// fails. Legacy flat-flag mode is preserved: invoking albatross-sim without
+// a subcommand behaves exactly as before, and each flag's --help text names
+// the scenario field it maps to.
 //
 //	albatross-sim -service vpc-internet -mode plb -cores 8 -flows 100000 \
 //	              -rate 4e6 -duration 500ms -limiter
@@ -27,47 +36,116 @@ var serviceNames = map[string]albatross.ServiceType{
 }
 
 func main() {
-	var (
-		svcName  = flag.String("service", "vpc-vpc", "gateway service: vpc-vpc | vpc-internet | vpc-idc | vpc-cloudservice")
-		modeName = flag.String("mode", "plb", "load balancing: plb | rss")
-		cores    = flag.Int("cores", 8, "data cores for the pod")
-		flows    = flag.Int("flows", 100000, "concurrent flows")
-		tenants  = flag.Int("tenants", 1000, "tenant count (VNIs)")
-		rate     = flag.Float64("rate", 2e6, "offered packets/second")
-		duration = flag.Duration("duration", 200*time.Millisecond, "virtual run time")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		limiter  = flag.Bool("limiter", false, "enable tenant overload rate limiting")
-		denied   = flag.Float64("acl-denied", 0, "fraction of flows ACL-denied (0..1)")
-		report   = flag.Bool("report", false, "print the full node report at the end")
-		pcapOut  = flag.String("pcap", "", "write a sample of generated traffic (first 1000 packets) to this pcap file")
-		autoFB   = flag.Bool("autofallback", false, "arm the reorder-timeout watchdog that falls back PLB->RSS")
-		nodes    = flag.Int("nodes", 1, "gateway servers; >1 deploys a cluster behind consistent-hash ECMP")
-		shards   = flag.Int("shards", 0, "engine shards for a cluster: 0 = auto (min(GOMAXPROCS, nodes)), 1 = single shared engine; stdout is byte-identical at any value")
-		cacheMB  = flag.Int("cache-mb", 0, "per-NUMA L3 cache model size in MiB (0 = model default 100; shrink for 1000-node fleets)")
-		metrics  = flag.String("metrics-out", "", "write the final metrics snapshot to PREFIX.prom and PREFIX.json")
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run":
+			runScenarioCmd(os.Args[2:])
+			return
+		case "validate":
+			validateScenarioCmd(os.Args[2:])
+			return
+		case "replay-diff":
+			replayDiffSubCmd(os.Args[2:])
+			return
+		case "help", "--help":
+			printTopUsage(os.Stdout)
+			fmt.Fprintln(os.Stdout, "\nLegacy flat-flag mode (no subcommand):")
+			flag.CommandLine.SetOutput(os.Stdout)
+			legacyFlags()
+			flag.PrintDefaults()
+			return
+		}
+	}
+	legacyMain()
+}
 
-		recordOut   = flag.String("record", "", "record the injection schedule to this trace file (plus a .json header sidecar)")
-		replayIn    = flag.String("replay", "", "replay a trace file instead of generating traffic (-rate is ignored; -duration still bounds the run)")
-		replayDiff  = flag.String("replay-diff", "", "compare two outcome report files A,B (from -outcome-out); exits 1 when they differ")
-		outcomeOut  = flag.String("outcome-out", "", "write the per-node outcome report to this file (requires -nodes > 1)")
-		traceDump   = flag.String("trace-dump", "", "write committed flight-recorder journeys to PREFIX.journeys.json")
-		metricsAddr = flag.String("metrics-listen", "", "after the run, serve the frozen metrics snapshot at http://ADDR/metrics (blocks)")
-		traceSample = flag.Int("trace-sample", 0, "flight-record every Nth packet (0 disables; -trace-dump and trigger flags default it to 64)")
-		trigLat     = flag.Duration("trace-latency-over", 0, "flight-recorder trigger: commit journeys slower than this end to end")
-		trigVNI     = flag.Int("trace-vni", -1, "flight-recorder trigger: commit journeys of this tenant VNI")
-		trigFault   = flag.Bool("trace-fault-window", false, "flight-recorder trigger: commit journeys overlapping a fault activation window")
-	)
-	var ff faultFlag
-	flag.Var(&ff, "fault", "inject a fault, repeatable: kind@time[,k=v...] e.g. corefail@20ms,core=2,dur=10ms (see cmd/albatross-sim/faults.go)")
+// printTopUsage lists the subcommands; the legacy flags are appended by
+// the caller.
+func printTopUsage(w *os.File) {
+	fmt.Fprint(w, `Usage:
+  albatross-sim run [overrides] scenario.yaml     execute a declarative gameday scenario
+  albatross-sim validate scenario.yaml...         load-check scenarios without running them
+  albatross-sim replay-diff [-shards N] A B       compare two outcome reports (exit 1 on diff)
+  albatross-sim [flags]                           legacy flat-flag single run
+
+Each legacy flag's help names the scenario field it maps to, e.g.
+-cores 8 is "fleet.cores: 8" in a scenario file.
+`)
+}
+
+// legacyFlags registers the flat-flag surface on the global FlagSet. Each
+// usage string ends with the scenario field the flag maps onto — the
+// migration path from flag soup to a committed scenario file.
+func legacyFlags() *legacyArgs {
+	a := &legacyArgs{}
+	a.svcName = flag.String("service", "vpc-vpc", "gateway service: vpc-vpc | vpc-internet | vpc-idc | vpc-cloudservice [scenario: fleet.service]")
+	a.modeName = flag.String("mode", "plb", "load balancing: plb | rss [scenario: fleet.mode]")
+	a.cores = flag.Int("cores", 8, "data cores for the pod [scenario: fleet.cores]")
+	a.flows = flag.Int("flows", 100000, "concurrent flows [scenario: workload.flows]")
+	a.tenants = flag.Int("tenants", 1000, "tenant count (VNIs) [scenario: workload.tenants]")
+	a.rate = flag.Float64("rate", 2e6, "offered packets/second [scenario: workload.rate]")
+	a.duration = flag.Duration("duration", 200*time.Millisecond, "virtual run time [scenario: duration]")
+	a.seed = flag.Uint64("seed", 1, "simulation seed [scenario: seed]")
+	a.limiter = flag.Bool("limiter", false, "enable tenant overload rate limiting [scenario: fleet.limiter]")
+	a.denied = flag.Float64("acl-denied", 0, "fraction of flows ACL-denied (0..1) [scenario: workload.acl_denied]")
+	a.report = flag.Bool("report", false, "print the full node report at the end [scenario: observability.report]")
+	a.pcapOut = flag.String("pcap", "", "write a sample of generated traffic (first 1000 packets) to this pcap file [scenario: n/a, flag only]")
+	a.autoFB = flag.Bool("autofallback", false, "arm the reorder-timeout watchdog that falls back PLB->RSS [scenario: fleet.auto_fallback]")
+	a.nodes = flag.Int("nodes", 1, "gateway servers; >1 deploys a cluster behind consistent-hash ECMP [scenario: fleet.nodes]")
+	a.shards = flag.Int("shards", 0, "engine shards for a cluster: 0 = auto (min(GOMAXPROCS, nodes)), 1 = single shared engine; stdout is byte-identical at any value [scenario: fleet.shards]")
+	a.cacheMB = flag.Int("cache-mb", 0, "per-NUMA L3 cache model size in MiB (0 = model default 100; shrink for 1000-node fleets) [scenario: fleet.cache_mb]")
+	a.metrics = flag.String("metrics-out", "", "write the final metrics snapshot to PREFIX.prom and PREFIX.json [scenario: observability.metrics_out]")
+	a.recordOut = flag.String("record", "", "record the injection schedule to this trace file (plus a .json header sidecar) [scenario: observability.record]")
+	a.replayIn = flag.String("replay", "", "replay a trace file instead of generating traffic (-rate is ignored; -duration still bounds the run) [scenario: workload.replay]")
+	a.replayDiff = flag.String("replay-diff", "", "compare two outcome report files A,B (from -outcome-out); exits 1 when they differ [subcommand: replay-diff A B]")
+	a.outcomeOut = flag.String("outcome-out", "", "write the per-node outcome report to this file (works from 1 node up) [scenario: observability.outcome_out]")
+	a.traceDump = flag.String("trace-dump", "", "write committed flight-recorder journeys to PREFIX.journeys.json [scenario: observability.trace_dump]")
+	a.metricsAddr = flag.String("metrics-listen", "", "after the run, serve the frozen metrics snapshot at http://ADDR/metrics (blocks) [scenario: n/a, flag only]")
+	a.traceSample = flag.Int("trace-sample", 0, "flight-record every Nth packet (0 disables; -trace-dump and trigger flags default it to 64) [scenario: observability.trace_sample]")
+	a.trigLat = flag.Duration("trace-latency-over", 0, "flight-recorder trigger: commit journeys slower than this end to end [scenario: observability.trace_latency_over]")
+	a.trigVNI = flag.Int("trace-vni", -1, "flight-recorder trigger: commit journeys of this tenant VNI [scenario: observability.trace_vni]")
+	a.trigFault = flag.Bool("trace-fault-window", false, "flight-recorder trigger: commit journeys overlapping a fault activation window [scenario: observability.trace_fault_window]")
+	flag.Var(&a.ff, "fault", "inject a fault, repeatable: kind@time[,k=v...] e.g. corefail@20ms,core=2,dur=10ms (see cmd/albatross-sim/faults.go) [scenario: events]")
+	return a
+}
+
+// legacyArgs holds the parsed flat-flag surface.
+type legacyArgs struct {
+	svcName, modeName                            *string
+	cores, flows, tenants                        *int
+	rate, denied                                 *float64
+	duration                                     *time.Duration
+	seed                                         *uint64
+	limiter, report, autoFB, trigFault           *bool
+	pcapOut, metrics, recordOut, replayIn        *string
+	replayDiff, outcomeOut, traceDump            *string
+	metricsAddr                                  *string
+	nodes, shards, cacheMB, traceSample, trigVNI *int
+	trigLat                                      *time.Duration
+	ff                                           faultFlag
+}
+
+func legacyMain() {
+	a := legacyFlags()
+	flag.Usage = func() {
+		printTopUsage(os.Stderr)
+		fmt.Fprintln(os.Stderr, "\nLegacy flat-flag mode (no subcommand):")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+	svcName, modeName, cores, flows := a.svcName, a.modeName, a.cores, a.flows
+	tenants, rate, duration, seed := a.tenants, a.rate, a.duration, a.seed
+	limiter, denied, report, pcapOut := a.limiter, a.denied, a.report, a.pcapOut
+	autoFB, nodes, shards, cacheMB := a.autoFB, a.nodes, a.shards, a.cacheMB
+	metrics, recordOut, replayIn := a.metrics, a.recordOut, a.replayIn
+	replayDiff, outcomeOut, traceDump := a.replayDiff, a.outcomeOut, a.traceDump
+	metricsAddr, traceSample := a.metricsAddr, a.traceSample
+	trigLat, trigVNI, trigFault := a.trigLat, a.trigVNI, a.trigFault
+	ff := &a.ff
 
 	if *replayDiff != "" {
 		runReplayDiffCmd(*replayDiff, *shards)
 		return
-	}
-	if *outcomeOut != "" && *nodes <= 1 {
-		fmt.Fprintln(os.Stderr, "-outcome-out needs a cluster: pass -nodes > 1")
-		os.Exit(2)
 	}
 
 	svc, ok := serviceNames[strings.ToLower(*svcName)]
@@ -109,7 +187,10 @@ func main() {
 		}
 	}
 
-	if *nodes > 1 {
+	// A cluster deployment handles any node count ≥ 1; single-node runs
+	// that need the outcome artifact go through it too, so -outcome-out
+	// works without -nodes > 1.
+	if *nodes > 1 || *outcomeOut != "" {
 		runCluster(clusterRun{
 			opts:    append(opts, albatross.WithNodes(*nodes), albatross.WithShards(*shards)),
 			podCfg:  podCfg(),

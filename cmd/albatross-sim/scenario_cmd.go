@@ -1,0 +1,139 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"albatross"
+)
+
+// runScenarioCmd implements `albatross-sim run [overrides] scenario.yaml`:
+// load, apply flag overrides, execute, print the deterministic report, and
+// exit 1 when any assertion fails. Override flags mirror the legacy flat
+// flags; an unset flag keeps the scenario file's value.
+func runScenarioCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: albatross-sim run [overrides] scenario.yaml")
+		fmt.Fprintln(os.Stderr, "\nOverrides (unset flags keep the scenario file's values):")
+		fs.PrintDefaults()
+	}
+	var (
+		seed     = fs.Uint64("seed", 0, "override scenario seed")
+		nodes    = fs.Int("nodes", 0, "override fleet.nodes")
+		shards   = fs.Int("shards", 0, "override fleet.shards (0 = auto; report stays byte-identical at any value)")
+		flows    = fs.Int("flows", 0, "override workload.flows")
+		rate     = fs.Float64("rate", 0, "override workload.rate (packets/second)")
+		duration = fs.Duration("duration", 0, "override scenario duration")
+		cacheMB  = fs.Int("cache-mb", 0, "override fleet.cache_mb")
+		report   = fs.Bool("report", false, "override observability.report (print the full cluster report)")
+		metrics  = fs.String("metrics-out", "", "override observability.metrics_out")
+		outcome  = fs.String("outcome-out", "", "override observability.outcome_out")
+		record   = fs.String("record", "", "override observability.record")
+		dump     = fs.String("trace-dump", "", "override observability.trace_dump")
+		replay   = fs.String("replay", "", "override workload.replay (trace file to replay)")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	s, err := albatross.LoadScenarioFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var ov albatross.ScenarioOverrides
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			ov.Seed = seed
+		case "nodes":
+			ov.Nodes = nodes
+		case "shards":
+			ov.Shards = shards
+		case "flows":
+			ov.Flows = flows
+		case "rate":
+			ov.Rate = rate
+		case "duration":
+			d := albatross.Duration(duration.Nanoseconds())
+			ov.Duration = &d
+		case "cache-mb":
+			ov.CacheMB = cacheMB
+		case "report":
+			ov.Report = report
+		case "metrics-out":
+			ov.MetricsOut = metrics
+		case "outcome-out":
+			ov.OutcomeOut = outcome
+		case "record":
+			ov.Record = record
+		case "trace-dump":
+			ov.TraceDump = dump
+		case "replay":
+			ov.Replay = replay
+		}
+	})
+
+	wall := time.Now()
+	res, err := s.Apply(ov).Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// The report is the entire stdout: byte-identical across repeat runs
+	// and shard counts. Wall time goes to stderr.
+	fmt.Print(res.Report)
+	fmt.Fprintf(os.Stderr, "  wall time   %v\n", time.Since(wall).Round(time.Millisecond))
+	if !res.OK() {
+		os.Exit(1)
+	}
+}
+
+// validateScenarioCmd implements `albatross-sim validate scenario.yaml...`:
+// load-check every file, report per-file verdicts, exit 1 on any failure.
+func validateScenarioCmd(args []string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: albatross-sim validate scenario.yaml...")
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range fs.Args() {
+		s, err := albatross.LoadScenarioFile(path)
+		if err != nil {
+			fmt.Printf("%s: INVALID\n  %v\n", path, err)
+			bad++
+			continue
+		}
+		fmt.Printf("%s: OK (%s: %d node(s), %d event(s), %d assertion(s))\n",
+			path, s.Name, s.Fleet.Nodes, len(s.Events), len(s.Assertions))
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// replayDiffSubCmd implements `albatross-sim replay-diff [-shards N] A B`,
+// the subcommand form of the legacy -replay-diff A,B flag.
+func replayDiffSubCmd(args []string) {
+	fs := flag.NewFlagSet("replay-diff", flag.ExitOnError)
+	shards := fs.Int("shards", 0, "unused; accepted for symmetry with run")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: albatross-sim replay-diff A B  (outcome reports from -outcome-out)")
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	runReplayDiffCmd(fs.Arg(0)+","+fs.Arg(1), *shards)
+}

@@ -1,0 +1,73 @@
+package albatross_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"albatross"
+)
+
+// ExampleLoadScenario parses a declarative gameday scenario and runs it,
+// letting the assertions block judge the outcome instead of hand-written
+// harness code.
+func ExampleLoadScenario() {
+	doc := `
+name: two-node-drill
+duration: 10ms
+fleet:
+  nodes: 2
+workload:
+  flows: 500
+  tenants: 10
+  rate: 2e5
+events:
+  - at: 4ms
+    action: inject_failure
+    fault: node-crash
+    node: 1
+    duration: 100ms
+assertions:
+  - type: conservation
+  - type: remap_bound
+`
+	s, err := albatross.LoadScenario([]byte(doc))
+	if err != nil {
+		panic(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d events, %d assertions, pass=%v\n",
+		s.Name, len(s.Events), len(res.Checks), res.OK())
+	// Output:
+	// two-node-drill: 1 events, 2 assertions, pass=true
+}
+
+// ExampleLoadScenario_strict shows that unknown keys are load-time errors
+// wrapping ErrBadConfig, with the offending line in the message.
+func ExampleLoadScenario_strict() {
+	doc := "name: oops\nduration: 5ms\nworkload:\n  flows: 10\n  rate: 1e5\n  zipff: 1.1\n"
+	_, err := albatross.LoadScenario([]byte(doc))
+	fmt.Println(errors.Is(err, albatross.ErrBadConfig))
+	fmt.Println(strings.Contains(err.Error(), "line 6"))
+	// Output:
+	// true
+	// true
+}
+
+// ExampleScenario_Apply layers CLI-style overrides over a loaded scenario
+// without editing the file.
+func ExampleScenario_Apply() {
+	s, err := albatross.LoadScenario([]byte(
+		"name: base\nduration: 5ms\nfleet:\n  nodes: 2\nworkload:\n  flows: 100\n  rate: 1e5\n"))
+	if err != nil {
+		panic(err)
+	}
+	nodes := 8
+	bigger := s.Apply(albatross.ScenarioOverrides{Nodes: &nodes})
+	fmt.Println(s.Fleet.Nodes, bigger.Fleet.Nodes)
+	// Output:
+	// 2 8
+}

@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"strings"
+
+	"albatross/internal/scenario"
+	"albatross/internal/sim"
+)
+
+func init() {
+	register("gameday", "Gameday drill expressed as a declarative scenario (DSL round trip)", runGameday)
+}
+
+// gamedayDoc is the clusterfail failover drill rewritten in the scenario
+// DSL: the same fleet, fault, and paper claims, but as a committed
+// document instead of harness code. The eval driver proves the two entry
+// points agree — what internal/eval asserts in Go, a scenario file can
+// assert declaratively.
+const gamedayDoc = `
+name: gameday-failover
+description: "node crash on a 3-node fleet, claims held declaratively"
+seed: 1
+duration: 300ms
+
+fleet:
+  nodes: 3
+
+workload:
+  flows: 3000
+  tenants: 100
+  rate: 5e5
+
+events:
+  - at: 20ms
+    action: inject_failure
+    fault: node-crash
+    node: 1
+    duration: 250ms
+
+assertions:
+  - type: conservation
+  - type: detection_window
+    margin: 1.5
+  - type: remap_bound
+    factor: 2
+  - type: max_loss
+    fraction: 0.3
+  - type: byte_identity
+    runs: 2
+    shards: [1, 3]
+`
+
+func runGameday(cfg Config) *Result {
+	r := &Result{ID: "gameday", Title: "Declarative gameday drill: scenario DSL vs hand-written harness"}
+
+	s, err := scenario.Load([]byte(gamedayDoc))
+	if err != nil {
+		panic(err)
+	}
+	ov := scenario.Overrides{Seed: &cfg.Seed}
+	if cfg.Quick {
+		flows, rate := 1000, 2e5
+		dur := 250 * sim.Millisecond
+		ov.Flows, ov.Rate, ov.Duration = &flows, &rate, &dur
+	}
+	res, err := s.Apply(ov).Run()
+	if err != nil {
+		panic(err)
+	}
+
+	// Surface the scenario's own assertion verdicts as eval checks: the
+	// declarative layer carries the same claims clusterfail hand-codes.
+	for _, c := range res.Checks {
+		r.check("scenario/"+c.Assertion.Type, c.OK, "%s", c.Detail)
+	}
+	r.check("scenario/overall", res.OK(), "%d/%d declarative assertions held",
+		res.Passed, res.Passed+res.Failed)
+	for _, line := range strings.Split(strings.TrimRight(res.Report, "\n"), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "traffic") ||
+			strings.HasPrefix(strings.TrimSpace(line), "latency") {
+			r.notef("%s", strings.TrimSpace(line))
+		}
+	}
+	return r
+}

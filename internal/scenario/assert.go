@@ -1,0 +1,275 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"albatross/internal/cluster"
+	"albatross/internal/core"
+	"albatross/internal/faults"
+	"albatross/internal/sim"
+	"albatross/internal/stats"
+)
+
+// measurement is the post-run telemetry the assertion layer reads: every
+// counter is summed across members and pods, and per-stage balance is the
+// conjunction over every drained pipeline.
+type measurement struct {
+	tx, redirected                               uint64
+	nicDrops, queueDrops, plbDrops, serviceDrops uint64
+	headerDrops, rxLost, faultLost, crashDrops   uint64
+	stagesBalanced                               bool
+	latP50, latP99, latP999                      int64
+	// latWorst holds the worst (highest) per-node latency at the three
+	// standard quantiles; latQ evaluates arbitrary quantiles on demand.
+	cl *cluster.Cluster
+}
+
+func measure(cl *cluster.Cluster) measurement {
+	m := measurement{stagesBalanced: true, cl: cl}
+	for _, mem := range cl.Members() {
+		for _, pr := range mem.Node.Pods() {
+			m.tx += pr.Tx
+			m.redirected += pr.Redirected
+			m.nicDrops += pr.NICDrops
+			m.queueDrops += pr.QueueDrops
+			m.plbDrops += pr.PLBDrops
+			m.serviceDrops += pr.ServiceDrop
+			m.headerDrops += pr.HeaderDrops
+			m.rxLost += pr.RxLost
+			m.faultLost += pr.FaultLost
+			m.crashDrops += pr.CrashDrops
+			if _, ok := stats.StageBalance(pr.Stages()); !ok {
+				m.stagesBalanced = false
+			}
+		}
+		pr := mem.Node.Pods()[0]
+		if q := pr.Latency.Quantile(0.50); q > m.latP50 {
+			m.latP50 = q
+		}
+		if q := pr.Latency.Quantile(0.99); q > m.latP99 {
+			m.latP99 = q
+		}
+		if q := pr.Latency.Quantile(0.999); q > m.latP999 {
+			m.latP999 = q
+		}
+	}
+	return m
+}
+
+// latQ returns the worst per-node ingress-pod latency at quantile q.
+func (m *measurement) latQ(q float64) int64 {
+	var worst int64
+	for _, mem := range m.cl.Members() {
+		if v := mem.Node.Pods()[0].Latency.Quantile(q); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// podDrops sums every in-pipeline drop category.
+func (m *measurement) podDrops() uint64 {
+	return m.nicDrops + m.queueDrops + m.plbDrops + m.serviceDrops +
+		m.headerDrops + m.rxLost + m.faultLost + m.crashDrops
+}
+
+// evaluate runs the scenario's assertion block against a completed run.
+// Identity assertions re-execute the scenario (fresh clusters, same
+// seed), so their cost is opt-in per scenario.
+func (s *Scenario) evaluate(st *runState, outcome string) []Check {
+	cl := st.cl
+	m := measure(cl)
+	delivered := m.tx
+	loss := cl.Sprayed - delivered
+	checks := make([]Check, 0, len(s.Assertions))
+	for _, a := range s.Assertions {
+		c := Check{Assertion: a}
+		switch a.Type {
+		case "conservation":
+			accounted := delivered + m.podDrops() + cl.Blackholed() + cl.Drops
+			c.OK = m.stagesBalanced && cl.Sprayed == accounted
+			c.Detail = fmt.Sprintf("sprayed %d = delivered %d + pod-drops %d + blackholed %d + switch-drops %d (stages balanced: %v)",
+				cl.Sprayed, delivered, m.podDrops(), cl.Blackholed(), cl.Drops, m.stagesBalanced)
+		case "zero_loss":
+			c.OK = loss == 0
+			c.Detail = fmt.Sprintf("lost %d of %d sprayed", loss, cl.Sprayed)
+		case "max_loss":
+			bound := uint64(a.Fraction * float64(cl.Sprayed))
+			c.OK = loss <= bound
+			c.Detail = fmt.Sprintf("lost %d of %d sprayed, bound %d (fraction %g)",
+				loss, cl.Sprayed, bound, a.Fraction)
+		case "remap_bound":
+			bound := uint64(a.Factor / float64(s.Fleet.Nodes) * float64(cl.Sprayed))
+			c.OK = cl.Remapped <= bound
+			c.Detail = fmt.Sprintf("remapped %d of %d sprayed, bound %d (%g/N, N=%d)",
+				cl.Remapped, cl.Sprayed, bound, a.Factor, s.Fleet.Nodes)
+		case "detection_window":
+			bound := s.detectionBound(st, a.Margin)
+			c.OK = cl.Blackholed() <= bound
+			c.Detail = fmt.Sprintf("blackholed %d, bound %d (margin %g over the BFD window)",
+				cl.Blackholed(), bound, a.Margin)
+		case "latency":
+			got := m.latQ(a.Quantile)
+			c.OK = got <= int64(a.Max)
+			c.Detail = fmt.Sprintf("worst-node p%g = %.1fµs, ceiling %.1fµs",
+				a.Quantile*100, float64(got)/1000, float64(a.Max)/1000)
+		case "min_tx":
+			c.OK = delivered >= a.Count
+			c.Detail = fmt.Sprintf("delivered %d, floor %d", delivered, a.Count)
+		case "byte_identity":
+			c.OK, c.Detail = s.checkByteIdentity(a, outcome)
+		case "replay_identity":
+			c.OK, c.Detail = s.checkReplayIdentity(st, outcome)
+		}
+		checks = append(checks, c)
+	}
+	return checks
+}
+
+// detectionBound computes the packet budget for blackholed loss: for each
+// scripted crash or flap, arrivals that can hit the dead link before BFD
+// withdraws the route — the member's traffic share times the smaller of
+// the fault length and the detection window — scaled by the margin. A
+// scenario with no crash/flap events gets a zero bound: any blackholed
+// packet fails the assertion.
+func (s *Scenario) detectionBound(st *runState, margin float64) uint64 {
+	members := st.cl.Members()
+	if len(members) == 0 {
+		return 0
+	}
+	window := members[0].Node.Uplink().DetectionWindow()
+	rate := s.maxRate(st)
+	var bound float64
+	for _, ev := range s.Events {
+		k := ev.Fault.Kind
+		if k != faults.KindNodeCrash && k != faults.KindBGPFlap {
+			continue
+		}
+		exposure := window
+		if ev.Fault.Duration > 0 && ev.Fault.Duration < exposure {
+			exposure = ev.Fault.Duration
+		}
+		bound += rate * (float64(exposure) / float64(sim.Second)) / float64(s.Fleet.Nodes)
+	}
+	return uint64(margin * bound)
+}
+
+// checkByteIdentity re-executes the scenario (fresh deployments, same
+// seed) a.Runs-1 extra times and once per extra shard count, requiring
+// every outcome report to match the first byte for byte.
+func (s *Scenario) checkByteIdentity(a Assertion, outcome string) (bool, string) {
+	for run := 1; run < a.Runs; run++ {
+		st, err := s.exec(s.Fleet.Shards, false, nil)
+		if err != nil {
+			return false, fmt.Sprintf("repeat run %d failed: %v", run, err)
+		}
+		if got := st.cl.Outcome(); got != outcome {
+			return false, fmt.Sprintf("repeat run %d outcome diverged (%d vs %d bytes)",
+				run, len(got), len(outcome))
+		}
+	}
+	for _, k := range a.Shards {
+		st, err := s.exec(k, false, nil)
+		if err != nil {
+			return false, fmt.Sprintf("shards=%d run failed: %v", k, err)
+		}
+		if got := st.cl.Outcome(); got != outcome {
+			return false, fmt.Sprintf("shards=%d outcome diverged (%d vs %d bytes)",
+				k, len(got), len(outcome))
+		}
+	}
+	return true, fmt.Sprintf("%d run(s) and shard counts %v byte-identical (outcome %d bytes)",
+		a.Runs, a.Shards, len(outcome))
+}
+
+// checkReplayIdentity replays the run's recorded injection schedule into
+// a fresh deployment and requires the outcome to match the live run.
+func (s *Scenario) checkReplayIdentity(st *runState, outcome string) (bool, string) {
+	if st.rec == nil {
+		return false, "no recorded trace (internal error)"
+	}
+	tr := st.rec.Trace()
+	rerun, err := s.exec(s.Fleet.Shards, false, tr)
+	if err != nil {
+		return false, fmt.Sprintf("replay run failed: %v", err)
+	}
+	if rerun.replayed != len(tr.Events) {
+		return false, fmt.Sprintf("replay injected %d of %d recorded events (raise duration)",
+			rerun.replayed, len(tr.Events))
+	}
+	if got := rerun.cl.Outcome(); got != outcome {
+		return false, fmt.Sprintf("replayed outcome diverged from live run (%d vs %d bytes)",
+			len(got), len(outcome))
+	}
+	return true, fmt.Sprintf("replayed %d recorded events, outcome byte-identical (%d bytes)",
+		len(tr.Events), len(outcome))
+}
+
+// journeyJSON is the on-disk form of one committed packet journey
+// (matching the albatross-sim -trace-dump format).
+type journeyJSON struct {
+	Pod    string            `json:"pod"`
+	VNI    uint32            `json:"vni"`
+	Flow   string            `json:"flow"`
+	Bytes  int               `json:"bytes"`
+	T0NS   int64             `json:"t0_ns"`
+	EndNS  int64             `json:"end_ns"`
+	Reason string            `json:"reason"`
+	Core   int32             `json:"core"`
+	ViaPLB bool              `json:"via_plb"`
+	PSN    uint16            `json:"psn,omitempty"`
+	OrdQ   uint8             `json:"ordq,omitempty"`
+	Steps  []journeyStepJSON `json:"steps"`
+}
+
+type journeyStepJSON struct {
+	Stage   string `json:"stage"`
+	Verdict string `json:"verdict"`
+	EnterNS int64  `json:"enter_ns"`
+	LeaveNS int64  `json:"leave_ns"`
+}
+
+// dumpJourneys writes every committed flight-recorder journey to
+// prefix.journeys.json in node/pod order then commit order — stable
+// across repeat runs at a fixed seed.
+func dumpJourneys(prefix string, cl *cluster.Cluster) error {
+	names := core.StageNames()
+	out := []journeyJSON{}
+	for _, m := range cl.Members() {
+		for pi, pr := range m.Node.Pods() {
+			label := fmt.Sprintf("node%d/gw%d", m.Index, pi)
+			for _, j := range pr.Flight().Journeys() {
+				jj := journeyJSON{
+					Pod:    label,
+					VNI:    j.Flow.VNI,
+					Flow:   j.Flow.Tuple.String(),
+					Bytes:  j.Bytes,
+					T0NS:   int64(j.T0),
+					EndNS:  int64(j.End),
+					Reason: j.Reason.String(),
+					Core:   j.Core,
+					ViaPLB: j.ViaPLB,
+				}
+				if j.ViaPLB {
+					jj.PSN, jj.OrdQ = j.PSN, j.OrdQ
+				}
+				for _, st := range j.Steps[:j.NSteps] {
+					jj.Steps = append(jj.Steps, journeyStepJSON{
+						Stage:   names[st.Stage],
+						Verdict: st.Verdict.String(),
+						EnterNS: int64(st.Enter),
+						LeaveNS: int64(st.Leave),
+					})
+				}
+				out = append(out, jj)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(prefix+".journeys.json", append(data, '\n'), 0o644)
+}

@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+
+	"albatross/internal/errs"
+)
+
+// FuzzLoadScenario throws arbitrary documents at the scenario loader. The
+// contract under fuzz: never panic, and reject every malformed document
+// with an error wrapping the errs.BadConfig sentinel. Accepted documents
+// must re-validate cleanly (Load already validates, so Validate on the
+// result is idempotent).
+func FuzzLoadScenario(f *testing.F) {
+	f.Add([]byte(fullDoc))
+	f.Add([]byte("name: x\nduration: 10ms\nworkload:\n  flows: 10\n  rate: 1e5\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("- a\n- b\n"))
+	f.Add([]byte("name: \"quo\\\"ted\"\nduration: 1ms\n"))
+	f.Add([]byte("a:\n  b:\n    c: [1, 2]\n"))
+	f.Add([]byte("events:\n  - at: 1ms\n    action: inject_failure\n"))
+	f.Add([]byte("name: x\n\tduration: 1ms\n"))
+	f.Add([]byte("assertions:\n  - type: byte_identity\n    shards: [1, 4]\n"))
+	f.Add([]byte("name: x # comment\nduration: 5ms # also\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(data)
+		if err != nil {
+			if !errors.Is(err, errs.BadConfig) {
+				t.Fatalf("rejection %v does not wrap errs.BadConfig", err)
+			}
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted scenario fails re-validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"albatross/internal/errs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden .want files from current loader errors")
+
+// TestValidateErrorGoldens pins the exact error text the loader produces
+// for each malformed document in testdata/invalid. Error messages are
+// operator UI — a wording change must be a deliberate diff, not drift.
+// Regenerate with: go test ./internal/scenario/ -run Golden -update
+func TestValidateErrorGoldens(t *testing.T) {
+	docs, err := filepath.Glob("testdata/invalid/*.yaml")
+	if err != nil || len(docs) == 0 {
+		t.Fatalf("no invalid corpus: %v", err)
+	}
+	for _, doc := range docs {
+		t.Run(filepath.Base(doc), func(t *testing.T) {
+			_, lerr := LoadFile(doc)
+			if lerr == nil {
+				t.Fatalf("%s loaded successfully, want an error", doc)
+			}
+			if !errors.Is(lerr, errs.BadConfig) {
+				t.Errorf("%s: error does not wrap errs.BadConfig: %v", doc, lerr)
+			}
+			want := strings.TrimSuffix(doc, ".yaml") + ".want"
+			if *update {
+				if err := os.WriteFile(want, []byte(lerr.Error()+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			golden, err := os.ReadFile(want)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got := lerr.Error() + "\n"; got != string(golden) {
+				t.Errorf("error text drifted from golden %s:\n got: %s\nwant: %s", want, got, golden)
+			}
+		})
+	}
+}

@@ -1,0 +1,411 @@
+// Package scenario is Albatross's declarative gameday layer: a YAML
+// scenario format that describes a whole drill — fleet shape, offered
+// workload, a timed event script, observability taps, and a block of
+// declarative assertions — and compiles it onto the existing cluster,
+// fault-plan, and workload machinery. One scenario run is deterministic
+// and byte-identical across repeats and at any shard count, so committed
+// scenario files double as regression oracles (`make gameday`).
+//
+// The format is a strict subset of YAML, parsed by this file without any
+// external dependency: block mappings and sequences nested by indentation,
+// plain/quoted scalars, `[a, b]` flow sequences of scalars, and `#`
+// comments. Unknown keys, duplicate keys, tabs in indentation, and
+// malformed structure are all hard errors wrapping errs.BadConfig — a
+// scenario that loads is a scenario whose every field is understood.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"albatross/internal/errs"
+)
+
+// nodeKind discriminates parsed YAML values.
+type nodeKind uint8
+
+const (
+	kindScalar nodeKind = iota
+	kindMap
+	kindSeq
+)
+
+// ynode is one parsed YAML value. Mappings keep their keys in file order
+// (decode errors and golden files stay deterministic), and every node
+// remembers its source line for error messages.
+type ynode struct {
+	kind   nodeKind
+	line   int
+	scalar string // kindScalar: the raw (unquoted) text; "" may mean empty
+	quoted bool   // scalar came from a quoted literal (never reinterpreted)
+	keys   []string
+	vals   []*ynode
+	items  []*ynode
+}
+
+// get returns the value for key in a mapping node, or nil.
+func (n *ynode) get(key string) *ynode {
+	for i, k := range n.keys {
+		if k == key {
+			return n.vals[i]
+		}
+	}
+	return nil
+}
+
+// yline is one significant source line after comment stripping.
+type yline struct {
+	num    int
+	indent int
+	text   string // content without indentation or trailing comment
+}
+
+// yamlParser is an index-based recursive-descent parser over the lexed
+// lines. Sequence items with inline content ("- key: v") are handled by
+// substituting the current line with its remainder at a deeper indent.
+type yamlParser struct {
+	lines []yline
+	pos   int
+}
+
+func yamlErr(line int, format string, args ...any) error {
+	return fmt.Errorf("scenario: line %d: %s: %w", line, fmt.Sprintf(format, args...), errs.BadConfig)
+}
+
+// parseYAML parses data as a strict YAML-subset document rooted at a
+// mapping.
+func parseYAML(data []byte) (*ynode, error) {
+	lines, err := lexYAML(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("scenario: empty document: %w", errs.BadConfig)
+	}
+	p := &yamlParser{lines: lines}
+	if lines[0].indent != 0 {
+		return nil, yamlErr(lines[0].num, "top-level content must start in column 1")
+	}
+	root, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, yamlErr(p.lines[p.pos].num, "unexpected content after document (bad indentation?)")
+	}
+	if root.kind != kindMap {
+		return nil, yamlErr(lines[0].num, "top level must be a mapping")
+	}
+	return root, nil
+}
+
+// lexYAML splits data into significant lines: comments stripped (quote-
+// aware), blanks dropped, tabs in indentation rejected.
+func lexYAML(data []byte) ([]yline, error) {
+	var out []yline
+	for num, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, yamlErr(num+1, "tab in indentation (use spaces)")
+		}
+		text := stripComment(line[indent:])
+		text = strings.TrimRight(text, " ")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "---") {
+			continue // document marker: tolerated, ignored
+		}
+		out = append(out, yline{num: num + 1, indent: indent, text: text})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "# ..." comment, honoring quotes. A '#'
+// only starts a comment at the start of the content or after whitespace
+// (YAML rule), so "rate#x" stays intact.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if quote == '"' && c == '\\' {
+				i++ // skip escaped char
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return strings.TrimRight(s[:i], " ")
+		}
+	}
+	return s
+}
+
+// parseBlock parses the run of lines indented at least minIndent, taking
+// the first line's indentation as the block's level.
+func (p *yamlParser) parseBlock(minIndent int) (*ynode, error) {
+	ln := p.lines[p.pos]
+	if ln.indent < minIndent {
+		return nil, yamlErr(ln.num, "expected indented block")
+	}
+	if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+		return p.parseSeq(ln.indent)
+	}
+	return p.parseMap(ln.indent)
+}
+
+// parseMap parses a block mapping at exactly the given indent.
+func (p *yamlParser) parseMap(indent int) (*ynode, error) {
+	m := &ynode{kind: kindMap, line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, yamlErr(ln.num, "unexpected indentation (no open mapping key at column %d)", ln.indent+1)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			break // sequence at this indent belongs to the parent key
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if m.get(key) != nil {
+			return nil, yamlErr(ln.num, "duplicate key %q", key)
+		}
+		p.pos++
+		var val *ynode
+		if rest != "" {
+			val, err = parseScalarValue(rest, ln.num)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			val, err = p.parseKeyBody(indent, ln.num)
+			if err != nil {
+				return nil, err
+			}
+		}
+		m.keys = append(m.keys, key)
+		m.vals = append(m.vals, val)
+	}
+	return m, nil
+}
+
+// parseKeyBody parses what follows a "key:" line with no inline value:
+// a nested block (deeper indent), a sequence at the same indent, or
+// nothing (an empty scalar).
+func (p *yamlParser) parseKeyBody(indent, keyLine int) (*ynode, error) {
+	if p.pos >= len(p.lines) {
+		return &ynode{kind: kindScalar, line: keyLine}, nil
+	}
+	next := p.lines[p.pos]
+	switch {
+	case next.indent > indent:
+		return p.parseBlock(next.indent)
+	case next.indent == indent && (strings.HasPrefix(next.text, "- ") || next.text == "-"):
+		return p.parseSeq(indent)
+	default:
+		return &ynode{kind: kindScalar, line: keyLine}, nil
+	}
+}
+
+// parseSeq parses a block sequence at exactly the given indent.
+func (p *yamlParser) parseSeq(indent int) (*ynode, error) {
+	seq := &ynode{kind: kindSeq, line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent || !(strings.HasPrefix(ln.text, "- ") || ln.text == "-") {
+			if ln.indent > indent {
+				return nil, yamlErr(ln.num, "unexpected indentation inside sequence")
+			}
+			break
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			// "-" alone: the item is the following deeper block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, yamlErr(ln.num, "empty sequence item")
+			}
+			item, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			seq.items = append(seq.items, item)
+			continue
+		}
+		if isMapEntry(rest) {
+			// Compact form: "- key: v" starts a mapping whose further keys
+			// sit at the remainder's column. Substitute the remainder for
+			// the current line and parse a mapping there.
+			eff := ln.indent + (len(ln.text) - len(rest))
+			p.lines[p.pos] = yline{num: ln.num, indent: eff, text: rest}
+			item, err := p.parseMap(eff)
+			if err != nil {
+				return nil, err
+			}
+			seq.items = append(seq.items, item)
+			continue
+		}
+		p.pos++
+		item, err := parseScalarValue(rest, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		seq.items = append(seq.items, item)
+	}
+	return seq, nil
+}
+
+// isMapEntry reports whether a sequence item's inline text is "key: ..."
+// (a compact mapping) rather than a plain scalar.
+func isMapEntry(s string) bool {
+	if _, _, err := splitKey(yline{text: s}); err != nil {
+		return false
+	}
+	return true
+}
+
+// splitKey splits "key: value" / "key:" into key and remainder.
+func splitKey(ln yline) (key, rest string, err error) {
+	s := ln.text
+	if len(s) > 0 && (s[0] == '"' || s[0] == '\'') {
+		end := closingQuote(s)
+		if end < 0 || end+1 >= len(s) || s[end+1] != ':' {
+			return "", "", yamlErr(ln.num, "malformed quoted key")
+		}
+		key, err = unquote(s[:end+1], ln.num)
+		if err != nil {
+			return "", "", err
+		}
+		rest = strings.TrimLeft(s[end+2:], " ")
+		if rest != "" && s[end+2] != ' ' {
+			return "", "", yamlErr(ln.num, "missing space after ':'")
+		}
+		return key, rest, nil
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			if i+1 < len(s) && s[i+1] != ' ' {
+				return "", "", yamlErr(ln.num, "missing space after ':' (or stray colon in unquoted scalar)")
+			}
+			key = strings.TrimRight(s[:i], " ")
+			if key == "" {
+				return "", "", yamlErr(ln.num, "empty mapping key")
+			}
+			return key, strings.TrimLeft(s[i+1:], " "), nil
+		}
+		if s[i] == '#' || s[i] == '[' || s[i] == ']' {
+			break
+		}
+	}
+	return "", "", yamlErr(ln.num, "expected \"key: value\"")
+}
+
+// closingQuote returns the index of the closing quote of a string literal
+// starting at s[0], or -1.
+func closingQuote(s string) int {
+	q := s[0]
+	for i := 1; i < len(s); i++ {
+		if q == '"' && s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == q {
+			if q == '\'' && i+1 < len(s) && s[i+1] == '\'' {
+				i++ // '' escape
+				continue
+			}
+			return i
+		}
+	}
+	return -1
+}
+
+// parseScalarValue parses an inline value: a quoted or plain scalar, or a
+// flow sequence "[a, b, c]" of scalars.
+func parseScalarValue(s string, line int) (*ynode, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, yamlErr(line, "unterminated flow sequence %q", s)
+		}
+		seq := &ynode{kind: kindSeq, line: line}
+		body := strings.TrimSpace(s[1 : len(s)-1])
+		if body == "" {
+			return seq, nil
+		}
+		for _, part := range strings.Split(body, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				return nil, yamlErr(line, "empty element in flow sequence %q", s)
+			}
+			if strings.ContainsAny(part, "[]{}") {
+				return nil, yamlErr(line, "nested flow collections are not supported")
+			}
+			item, err := parseScalarValue(part, line)
+			if err != nil {
+				return nil, err
+			}
+			seq.items = append(seq.items, item)
+		}
+		return seq, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, yamlErr(line, "flow mappings are not supported (use block form)")
+	}
+	if len(s) > 0 && (s[0] == '"' || s[0] == '\'') {
+		end := closingQuote(s)
+		if end != len(s)-1 {
+			return nil, yamlErr(line, "malformed quoted scalar %q", s)
+		}
+		v, err := unquote(s, line)
+		if err != nil {
+			return nil, err
+		}
+		return &ynode{kind: kindScalar, line: line, scalar: v, quoted: true}, nil
+	}
+	return &ynode{kind: kindScalar, line: line, scalar: s}, nil
+}
+
+// unquote interprets a single- or double-quoted string literal.
+func unquote(s string, line int) (string, error) {
+	q := s[0]
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if q == '"' && c == '\\' {
+			i++
+			if i >= len(body) {
+				return "", yamlErr(line, "dangling escape in %q", s)
+			}
+			switch body[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteByte(body[i])
+			default:
+				return "", yamlErr(line, "unsupported escape \\%c", body[i])
+			}
+			continue
+		}
+		if q == '\'' && c == '\'' {
+			i++ // '' collapses to '
+		}
+		b.WriteByte(c)
+	}
+	return b.String(), nil
+}

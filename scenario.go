@@ -1,0 +1,37 @@
+package albatross
+
+import "albatross/internal/scenario"
+
+// Scenario is a declarative gameday drill: a fleet to deploy, a workload
+// to offer, a timed script of faults and ramps, and an assertions block
+// evaluated after the run. Scenarios load from a strict YAML subset
+// (unknown keys are errors, wrapping ErrBadConfig) and execute
+// deterministically — the Result's Report and Outcome are byte-identical
+// across repeat runs and across shard counts at a fixed seed.
+type (
+	Scenario              = scenario.Scenario
+	ScenarioFleet         = scenario.Fleet
+	ScenarioWorkload      = scenario.Workload
+	ScenarioEvent         = scenario.Event
+	ScenarioAction        = scenario.Action
+	ScenarioAssertion     = scenario.Assertion
+	ScenarioOverrides     = scenario.Overrides
+	ScenarioResult        = scenario.Result
+	ScenarioCheck         = scenario.Check
+	ScenarioObservability = scenario.Observability
+)
+
+// Scripted event actions.
+const (
+	ScenarioInject = scenario.ActionInject
+	ScenarioDrain  = scenario.ActionDrain
+	ScenarioFlap   = scenario.ActionFlap
+	ScenarioRamp   = scenario.ActionRamp
+)
+
+// LoadScenario parses and validates a scenario document. Every parse or
+// schema error wraps ErrBadConfig and names the offending line.
+func LoadScenario(data []byte) (*Scenario, error) { return scenario.Load(data) }
+
+// LoadScenarioFile reads, parses, and validates a scenario file.
+func LoadScenarioFile(path string) (*Scenario, error) { return scenario.LoadFile(path) }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fmt-check metrics-check replay-check fleet-check gameday ci clean
+.PHONY: all build test vet race bench fmt-check metrics-check replay-check fleet-check gameday concury-check ci clean
 
 all: build test
 
@@ -11,7 +11,7 @@ fmt-check:
 
 # The full gate: build, vet, formatting, unit tests, then the race-checked
 # packages. Runs staticcheck too when it is installed.
-ci: build vet fmt-check test race metrics-check replay-check fleet-check gameday
+ci: build vet fmt-check test race metrics-check replay-check fleet-check gameday concury-check
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; staticcheck ./...; \
 	else echo "staticcheck not installed; skipping"; fi
@@ -118,6 +118,16 @@ gameday: build
 	rm -rf $$tmp; \
 	if [ $$rc -ne 0 ]; then echo "gameday: scenario gate failed"; exit 1; fi; \
 	echo "gameday: all scenarios passed, stdout repeat-identical"
+
+# Flow-table backend gate: the concury experiment in quick mode — backend
+# assignment agreement, zero-disruption pool updates, the session-vs-othello
+# memory cost ratio, and cluster byte-identity at shards 1 and 4 with the
+# othello backend and burst dispatch enabled. albatross-bench exits non-zero
+# when any shape check fails.
+concury-check:
+	@$(GO) run ./cmd/albatross-bench -exp concury -quick >/dev/null || \
+		{ echo "concury-check: experiment checks failed (run: go run ./cmd/albatross-bench -exp concury -quick)"; exit 1; }
+	@echo "concury-check: othello/session backend checks passed"
 
 clean:
 	rm -f BENCH_packetpath.json albatross-bench

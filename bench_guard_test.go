@@ -15,13 +15,16 @@ type benchRecord struct {
 	AllocsOp   int64  `json:"allocs_per_op"`
 }
 
-// TestBenchGuard re-measures the single-engine cluster packet path and
-// fails when it has regressed more than 10% against the committed
-// BENCH_packetpath.json baseline. It is the tripwire for the sharded
-// execution layer: shards=1 must keep the legacy hot path (one predicted
-// branch is the entire budget). Benchmarks are too noisy for `go test`
-// defaults, so the guard only arms under ALBATROSS_BENCH_GUARD=1 —
-// `make bench` sets it before re-recording the baseline.
+// TestBenchGuard re-measures the guarded packet-path benchmarks and fails
+// when any has regressed more than 10% against the committed
+// BENCH_packetpath.json baseline. BenchmarkClusterPath is the tripwire for
+// the sharded execution layer (shards=1 must keep the legacy hot path — one
+// predicted branch is the entire budget); BenchmarkPacketPath and
+// BenchmarkPacketPathTraced guard the single-node pipeline and its
+// flight-recorder overhead against burst/backed-related creep. Benchmarks
+// are too noisy for `go test` defaults, so the guard only arms under
+// ALBATROSS_BENCH_GUARD=1 — `make bench` sets it before re-recording the
+// baseline.
 func TestBenchGuard(t *testing.T) {
 	if os.Getenv("ALBATROSS_BENCH_GUARD") != "1" {
 		t.Skip("set ALBATROSS_BENCH_GUARD=1 to arm (done by `make bench`)")
@@ -34,21 +37,30 @@ func TestBenchGuard(t *testing.T) {
 	if err := json.Unmarshal(data, &records); err != nil {
 		t.Fatalf("parsing BENCH_packetpath.json: %v", err)
 	}
-	var baseline int64
+	baselines := make(map[string]int64, len(records))
 	for _, r := range records {
-		if r.Benchmark == "BenchmarkClusterPath" {
-			baseline = r.NsPerOp
-		}
-	}
-	if baseline == 0 {
-		t.Fatal("BenchmarkClusterPath not in committed baseline")
+		baselines[r.Benchmark] = r.NsPerOp
 	}
 
-	res := testing.Benchmark(BenchmarkClusterPath)
-	got := res.NsPerOp()
-	limit := baseline + baseline/10
-	t.Logf("BenchmarkClusterPath: %d ns/op (baseline %d, limit %d)", got, baseline, limit)
-	if got > limit {
-		t.Fatalf("cluster path regressed >10%%: %d ns/op vs %d ns/op baseline", got, baseline)
+	guarded := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"BenchmarkPacketPath", BenchmarkPacketPath},
+		{"BenchmarkPacketPathTraced", BenchmarkPacketPathTraced},
+		{"BenchmarkClusterPath", BenchmarkClusterPath},
+	}
+	for _, g := range guarded {
+		baseline := baselines[g.name]
+		if baseline == 0 {
+			t.Fatalf("%s not in committed baseline", g.name)
+		}
+		res := testing.Benchmark(g.fn)
+		got := res.NsPerOp()
+		limit := baseline + baseline/10
+		t.Logf("%s: %d ns/op (baseline %d, limit %d)", g.name, got, baseline, limit)
+		if got > limit {
+			t.Errorf("%s regressed >10%%: %d ns/op vs %d ns/op baseline", g.name, got, baseline)
+		}
 	}
 }

@@ -94,6 +94,8 @@ func legacyFlags() *legacyArgs {
 	a.nodes = flag.Int("nodes", 1, "gateway servers; >1 deploys a cluster behind consistent-hash ECMP [scenario: fleet.nodes]")
 	a.shards = flag.Int("shards", 0, "engine shards for a cluster: 0 = auto (min(GOMAXPROCS, nodes)), 1 = single shared engine; stdout is byte-identical at any value [scenario: fleet.shards]")
 	a.cacheMB = flag.Int("cache-mb", 0, "per-NUMA L3 cache model size in MiB (0 = model default 100; shrink for 1000-node fleets) [scenario: fleet.cache_mb]")
+	a.backend = flag.String("backend", "", "node flow-table backend steering flows to pods: session | othello (empty = legacy first-pod) [scenario: fleet.backend]")
+	a.burst = flag.Int("burst", 0, "burst-batched dispatch size; >1 shares one NIC event per burst, 0/1 = per-packet path [scenario: fleet.burst]")
 	a.metrics = flag.String("metrics-out", "", "write the final metrics snapshot to PREFIX.prom and PREFIX.json [scenario: observability.metrics_out]")
 	a.recordOut = flag.String("record", "", "record the injection schedule to this trace file (plus a .json header sidecar) [scenario: observability.record]")
 	a.replayIn = flag.String("replay", "", "replay a trace file instead of generating traffic (-rate is ignored; -duration still bounds the run) [scenario: workload.replay]")
@@ -118,9 +120,10 @@ type legacyArgs struct {
 	seed                                         *uint64
 	limiter, report, autoFB, trigFault           *bool
 	pcapOut, metrics, recordOut, replayIn        *string
-	replayDiff, outcomeOut, traceDump            *string
+	replayDiff, outcomeOut, traceDump, backend   *string
 	metricsAddr                                  *string
 	nodes, shards, cacheMB, traceSample, trigVNI *int
+	burst                                        *int
 	trigLat                                      *time.Duration
 	ff                                           faultFlag
 }
@@ -169,6 +172,12 @@ func legacyMain() {
 	}
 	if len(ff.plan.Faults) > 0 {
 		opts = append(opts, albatross.WithFaultPlan(&ff.plan))
+	}
+	if *a.backend != "" {
+		opts = append(opts, albatross.WithFlowBackend(*a.backend))
+	}
+	if *a.burst > 1 {
+		opts = append(opts, albatross.WithBurst(*a.burst))
 	}
 
 	sample := *traceSample

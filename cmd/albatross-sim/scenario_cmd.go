@@ -28,6 +28,8 @@ func runScenarioCmd(args []string) {
 		rate     = fs.Float64("rate", 0, "override workload.rate (packets/second)")
 		duration = fs.Duration("duration", 0, "override scenario duration")
 		cacheMB  = fs.Int("cache-mb", 0, "override fleet.cache_mb")
+		backend  = fs.String("backend", "", "override fleet.backend (session | othello)")
+		burst    = fs.Int("burst", 0, "override fleet.burst (0/1 = per-packet path)")
 		report   = fs.Bool("report", false, "override observability.report (print the full cluster report)")
 		metrics  = fs.String("metrics-out", "", "override observability.metrics_out")
 		outcome  = fs.String("outcome-out", "", "override observability.outcome_out")
@@ -64,6 +66,10 @@ func runScenarioCmd(args []string) {
 			ov.Duration = &d
 		case "cache-mb":
 			ov.CacheMB = cacheMB
+		case "backend":
+			ov.Backend = backend
+		case "burst":
+			ov.Burst = burst
 		case "report":
 			ov.Report = report
 		case "metrics-out":

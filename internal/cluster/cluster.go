@@ -330,9 +330,10 @@ func (c *Cluster) Inject(f workload.Flow, bytes int) {
 		c.post(m, f, bytes)
 		return
 	}
-	// Ingress lands on pod 0; further pods are upgrade/crash siblings that
-	// receive traffic via the node's redirect machinery.
-	pods[0].Inject(f, bytes)
+	// Without a flow-table backend, ingress lands on pod 0 (further pods are
+	// upgrade/crash siblings reached via the node's redirect machinery); with
+	// one, the backend steers each flow to its pinned pod.
+	m.Node.Ingress(f, bytes)
 }
 
 // Sink adapts the cluster to a workload.Source sink.

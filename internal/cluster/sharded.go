@@ -96,8 +96,7 @@ func (c *Cluster) advanceShard(shard int, target sim.Time) {
 		}
 		mb.next++
 		eng.RunUntil(e.at)
-		pods := c.members[e.member].Node.Pods()
-		pods[0].Inject(e.flow, int(e.bytes))
+		c.members[e.member].Node.Ingress(e.flow, int(e.bytes))
 	}
 	eng.RunUntil(target)
 }

@@ -53,6 +53,17 @@ type NodeConfig struct {
 	// against this node (see internal/faults). Fault times are relative to
 	// node creation.
 	Faults *faults.Plan
+	// FlowBackend selects the node-level flow-table backend steering
+	// Node.Ingress traffic across pods ("session" or "othello"; see
+	// internal/flowtable.BackendNames). Empty leaves Ingress on the legacy
+	// first-pod path.
+	FlowBackend string
+	// Burst > 1 enables burst-batched dispatch (see burst.go): same-instant
+	// injections share one arrival event per Burst packets and complete via
+	// arithmetic admission + one per-pod drain event. Burst <= 1 keeps the
+	// legacy per-packet event path bit-for-bit. Burst > 1 disables the
+	// flight recorder.
+	Burst int
 }
 
 // Node is one Albatross server.
@@ -83,6 +94,12 @@ type Node struct {
 	// counts packets that arrived via the proxy path during an outage.
 	Blackholed uint64
 	Proxied    uint64
+
+	// backend steers Node.Ingress traffic across active pods (see
+	// backend.go); nil without NodeConfig.FlowBackend. BackendMoved counts
+	// flows remapped by pool updates (pod lifecycle changes).
+	backend      flowtable.Backend
+	BackendMoved uint64
 }
 
 // NewNode creates a node.
@@ -124,6 +141,15 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	if cfg.Faults != nil {
 		n.injector, err = faults.NewInjector(n.Engine, n, cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.FlowBackend != "" {
+		n.backend, err = flowtable.NewBackend(cfg.FlowBackend, nil, flowtable.BackendConfig{
+			Seed:  cfg.Seed ^ 0xF10B,
+			Space: n.addrs,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -207,6 +233,8 @@ type pktCtx struct {
 	core    int32    // core chosen by the dispatch stage
 	stage   int8     // pipeline chain slot currently holding the packet
 	enterAt sim.Time // when the packet entered its current stage
+	fh      uint32   // cached flow.Tuple.Hash(); valid only when fhOK
+	fhOK    bool
 	viaPLB  bool
 	split   bool
 	payID   uint64
@@ -251,6 +279,19 @@ type PodRuntime struct {
 	// Enqueue calls do not allocate a method-value closure per packet.
 	ctxFree   []*pktCtx
 	cpuDoneFn func(any)
+
+	// Burst-batched dispatch state (see burst.go); idle when burst <= 1.
+	// openBurst is indexed by traffic class; pend holds each core's
+	// struct-of-arrays queue of admitted members awaiting the drain event.
+	burst      int
+	openBurst  [3]*burst
+	burstFree  []*burst
+	pend       []corePend
+	headF      []sim.Time // per-core merge head finish (TimeMax when idle)
+	headSeq    []uint64   // admission seq of each merge head
+	pending    int
+	admitSeq   uint64
+	drainArmed bool
 
 	// Latency is the end-to-end (wire to wire) latency histogram.
 	Latency *stats.Histogram
@@ -347,6 +388,18 @@ func (n *Node) AddPod(cfg PodConfig) (*PodRuntime, error) {
 	case traceEvery < 0:
 		traceEvery = 0 // disabled
 	}
+	if n.cfg.Burst > 1 {
+		// Burst mode: per-packet journeys assume per-packet events.
+		traceEvery = 0
+		pr.burst = n.cfg.Burst
+		pr.pipe.stages[stageIngress] = burstIngressStage{}
+		pr.pend = make([]corePend, cfg.Spec.DataCores)
+		pr.headF = make([]sim.Time, cfg.Spec.DataCores)
+		pr.headSeq = make([]uint64, cfg.Spec.DataCores)
+		for i := range pr.headF {
+			pr.headF[i] = sim.TimeMax
+		}
+	}
 	pr.flight = newFlightRecorder(traceEvery, cfg.TraceRing)
 	if cfg.HeaderSplit {
 		pr.payload = nicsim.NewPayloadBuffer(cfg.PayloadBufferBytes)
@@ -375,6 +428,7 @@ func (n *Node) AddPod(cfg PodConfig) (*PodRuntime, error) {
 		}
 	}
 	n.pods = append(n.pods, pr)
+	n.refreshBackendPool()
 	return pr, nil
 }
 
@@ -507,9 +561,15 @@ func (pr *PodRuntime) Inject(f workload.Flow, bytes int) {
 	pr.pipe.run(pr, ctx, stageClassify)
 }
 
-// serviceCost computes the packet's CPU demand and drop verdict.
-func (pr *PodRuntime) serviceCost(f workload.Flow) (sim.Duration, bool) {
-	res := pr.Svc.Process(f.Tuple, f.VNI)
+// serviceCost computes the packet's CPU demand and drop verdict. The tuple
+// hash is computed once per packet and cached on the context (the burst
+// path's warm pass fills it even earlier).
+func (pr *PodRuntime) serviceCost(ctx *pktCtx) (sim.Duration, bool) {
+	if !ctx.fhOK {
+		ctx.fh = ctx.flow.Tuple.Hash()
+		ctx.fhOK = true
+	}
+	res := pr.Svc.ProcessHash(ctx.flow.Tuple, ctx.flow.VNI, ctx.fh)
 	cost := float64(res.Cost)
 	if pr.cfg.JitterSigma > 0 {
 		cost *= math.Exp(pr.rng.Norm(0, pr.cfg.JitterSigma))
@@ -561,6 +621,10 @@ func (pr *PodRuntime) onCPUDone(item any) {
 func (pr *PodRuntime) onEmission(em plb.Emission) {
 	ctx, ok := em.Item.(*pktCtx)
 	if !ok || ctx == nil {
+		return
+	}
+	if pr.burst > 1 {
+		pr.burstEmission(ctx, em)
 		return
 	}
 	if !em.InOrder && ctx.trace != nil {

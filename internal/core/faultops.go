@@ -180,6 +180,10 @@ func (n *Node) InjectCoreFail(podIdx, core int, d sim.Duration) error {
 		return nil
 	}
 	pr.noteFaultWindow(d)
+	// Burst mode: members whose computed finish precedes the failure already
+	// completed logically; retire them before the queue sweep so the fail
+	// only claims what the unbatched path would have lost.
+	pr.drainPendingThrough(n.Engine.Now(), false)
 	pr.FaultLost += uint64(c.Fail(pr.onLost))
 	if pr.PLB != nil {
 		pr.PLB.EvictCore(core)
@@ -222,6 +226,9 @@ func (n *Node) InjectPodCrash(podIdx int, graceful bool, restartAfter sim.Durati
 		pr.state = podDraining
 	} else {
 		pr.state = podCrashed
+		// Burst mode: retire members that logically completed before the
+		// crash so the core sweep + reorder flush see legacy-identical state.
+		pr.drainPendingThrough(n.Engine.Now(), false)
 		for _, c := range pr.Cores {
 			pr.FaultLost += uint64(c.Fail(pr.onLost))
 		}
@@ -230,6 +237,7 @@ func (n *Node) InjectPodCrash(podIdx int, graceful bool, restartAfter sim.Durati
 		}
 	}
 	n.Engine.After(restartAfter, pr.completeRestart)
+	n.refreshBackendPool()
 	return nil
 }
 
@@ -247,6 +255,7 @@ func (pr *PodRuntime) completeRestart() {
 	pr.state = podActive
 	pr.redirect = nil
 	pr.Restarts++
+	pr.node.refreshBackendPool()
 }
 
 // InjectReorderStress stresses one of the pod's PLB order queues for d:
@@ -400,10 +409,14 @@ func (pr *PodRuntime) Stop() error {
 	n := pr.node
 	pr.state = podDraining
 	pr.redirect = n.siblingOf(pr)
+	n.refreshBackendPool()
 	deadline := n.Engine.Now().Add(stopDrainCap)
 	for pr.live > 0 && n.Engine.Now() < deadline {
 		n.Engine.RunFor(100 * sim.Microsecond)
 	}
+	// Burst mode: retire what logically completed inside the drain window
+	// before stragglers are swept.
+	pr.drainPendingThrough(n.Engine.Now(), false)
 	for _, c := range pr.Cores {
 		if !c.Failed() {
 			pr.FaultLost += uint64(c.Fail(pr.onLost))

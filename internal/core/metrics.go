@@ -24,6 +24,23 @@ func (n *Node) RegisterMetrics(reg *metrics.Registry, base ...metrics.Label) {
 	reg.Counter("albatross_node_proxied_packets_total",
 		"Packets carried by the sibling proxy path during an uplink outage.",
 		func() uint64 { return n.Proxied }, base...)
+	if n.backend != nil {
+		be := with(base, "backend", n.backend.Name())
+		for _, ev := range []struct {
+			event string
+			fn    func() uint64
+		}{
+			{"lookup", func() uint64 { return n.backend.Stats().Lookups }},
+			{"hit", func() uint64 { return n.backend.Stats().Hits }},
+			{"insert", func() uint64 { return n.backend.Stats().Inserts }},
+			{"eviction", func() uint64 { return n.backend.Stats().Evictions }},
+			{"moved", func() uint64 { return n.backend.Stats().Moved }},
+			{"rebuild", func() uint64 { return n.backend.Stats().Rebuilds }},
+		} {
+			reg.Counter("albatross_backend_ops_total",
+				"Flow-table backend operations, by event.", ev.fn, with(be, "event", ev.event)...)
+		}
+	}
 	for i, pr := range n.pods {
 		pr.registerMetrics(reg, append([]metrics.Label{
 			metrics.L("pod", pr.Pod.Spec.Name),

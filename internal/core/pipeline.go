@@ -257,12 +257,12 @@ type plbDispatchStage struct{}
 func (plbDispatchStage) Name() string { return "plb-dispatch" }
 
 func (plbDispatchStage) Process(pr *PodRuntime, ctx *pktCtx) StageVerdict {
-	cost, drop := pr.serviceCost(ctx.flow)
+	cost, drop := pr.serviceCost(ctx)
 	ctx.cost = cost
 	ctx.drop = drop
 	ctx.queueAt = pr.node.Engine.Now()
 
-	core, meta, ok := pr.PLB.Dispatch(ctx.flow.Tuple.Hash())
+	core, meta, ok := pr.PLB.Dispatch(ctx.fh)
 	if !ok {
 		pr.PLBDrops++
 		pr.putCtx(ctx)
@@ -292,7 +292,7 @@ type rssDispatchStage struct{}
 func (rssDispatchStage) Name() string { return "rss-dispatch" }
 
 func (rssDispatchStage) Process(pr *PodRuntime, ctx *pktCtx) StageVerdict {
-	cost, drop := pr.serviceCost(ctx.flow)
+	cost, drop := pr.serviceCost(ctx)
 	ctx.cost = cost
 	ctx.drop = drop
 	ctx.queueAt = pr.node.Engine.Now()

@@ -62,7 +62,7 @@ func (pr *PodRuntime) probeDispatch(ctx *pktCtx) {
 	now := pr.node.Engine.Now()
 	ctx.probe.dispatchAt = now
 	ctx.queueAt = now
-	cost, drop := pr.serviceCost(ctx.flow)
+	cost, drop := pr.serviceCost(ctx)
 	ctx.drop = drop
 
 	var q int

@@ -36,6 +36,20 @@ type Core struct {
 
 	stallUntil sim.Time
 	failed     bool
+	// lastFailAt/everFailed record the most recent Fail so the burst drain
+	// can detect members whose service window a core failure crossed.
+	lastFailAt sim.Time
+	everFailed bool
+
+	// Arithmetic admission state (burst mode): instead of a completion event
+	// per packet, Admit computes start/finish times in place. arithFree is
+	// when the arithmetically-admitted backlog ends; arithRing holds the
+	// start times of admitted-but-not-yet-started packets (the virtual RX
+	// queue) so the depth bound still applies.
+	arithFree sim.Time
+	arithRing []sim.Time
+	arithHead int
+	arithLen  int
 	// slow multiplies service demands while > 0 and != 1 (the fault layer's
 	// service-time blowup). It applies to packets started after it is set;
 	// an in-service packet keeps its original completion.
@@ -62,7 +76,9 @@ func NewCore(engine *sim.Engine, id, queueDepth int) *Core {
 }
 
 // QueueLen returns the number of packets waiting (excluding in-service).
-func (c *Core) QueueLen() int { return len(c.queue) }
+// With arithmetic admission this includes virtually-queued packets as of
+// their admission times (pruning happens on the next Admit).
+func (c *Core) QueueLen() int { return len(c.queue) + c.arithLen }
 
 // QueueDepth returns the configured capacity.
 func (c *Core) QueueDepth() int { return c.queueDepth }
@@ -100,6 +116,93 @@ func (c *Core) Enqueue(item any, service sim.Duration, done func(any)) bool {
 	c.start(w)
 	return true
 }
+
+// Admit is the burst-mode counterpart of Enqueue: it applies the same
+// admission rules (offline refusal, stall, bounded queue, slow factor) but
+// computes the packet's start and finish times arithmetically instead of
+// scheduling a completion event. The caller records the finish time and
+// settles the packet later with ArithDone or ArithLost.
+//
+// Fidelity caveats vs Enqueue, by construction: the slow factor and stall
+// state are sampled at admission (a SetSlowFactor/Stall landing inside the
+// already-computed window does not stretch it), and Processed/busyNS move at
+// admission/settle time rather than at the exact service instants.
+func (c *Core) Admit(service sim.Duration) (start, finish sim.Time, ok bool) {
+	if c.failed {
+		c.Drops++
+		return 0, 0, false
+	}
+	if service < 0 {
+		service = 0
+	}
+	if c.slow > 0 && c.slow != 1 {
+		service = sim.Duration(float64(service) * c.slow)
+	}
+	now := c.engine.Now()
+	for c.arithLen > 0 && c.arithRing[c.arithHead] <= now {
+		c.arithHead++
+		if c.arithHead == len(c.arithRing) {
+			c.arithHead = 0
+		}
+		c.arithLen--
+	}
+	if c.arithFree > now || now < c.stallUntil {
+		if c.arithLen >= c.queueDepth {
+			c.Drops++
+			return 0, 0, false
+		}
+	}
+	start = now
+	if c.arithFree > start {
+		start = c.arithFree
+	}
+	if c.stallUntil > start {
+		start = c.stallUntil
+	}
+	finish = start.Add(service)
+	c.arithFree = finish
+	c.busyNS += service
+	if start > now {
+		if c.arithRing == nil {
+			c.arithRing = make([]sim.Time, c.queueDepth+1)
+		}
+		tail := c.arithHead + c.arithLen
+		if tail >= len(c.arithRing) {
+			tail -= len(c.arithRing)
+		}
+		c.arithRing[tail] = start
+		c.arithLen++
+	}
+	return start, finish, true
+}
+
+// ArithDone settles a successfully drained arithmetic admission.
+func (c *Core) ArithDone() { c.Processed++ }
+
+// ArithLost settles an arithmetic admission whose window a core failure
+// crossed: the un-served part of its busy time is refunded (all of it if the
+// packet had not started when the core failed) and it counts as Lost, the
+// same accounting Fail applies to evented packets.
+func (c *Core) ArithLost(start, finish sim.Time) {
+	refund := finish.Sub(start)
+	if c.lastFailAt > start {
+		refund = finish.Sub(c.lastFailAt)
+	}
+	if refund > 0 {
+		c.busyNS -= refund
+	}
+	c.Lost++
+}
+
+// FailedWindow reports whether the core's most recent failure landed inside
+// [admitAt, finish) — the burst drain's lost-member test.
+func (c *Core) FailedWindow(admitAt, finish sim.Time) bool {
+	return c.everFailed && c.lastFailAt >= admitAt && c.lastFailAt < finish
+}
+
+// LastFailAt returns the virtual time of the most recent Fail (zero when the
+// core never failed; check FailedWindow or Failed first).
+func (c *Core) LastFailAt() sim.Time { return c.lastFailAt }
 
 // coreWake and coreFinish are the engine callbacks in arg form, so
 // scheduling them reuses pooled events without a per-call closure.
@@ -190,6 +293,12 @@ func (c *Core) Fail(onLost func(item any)) int {
 		return 0
 	}
 	c.failed = true
+	c.lastFailAt = c.engine.Now()
+	c.everFailed = true
+	// Arithmetic admissions are settled by their owner at drain time (via
+	// FailedWindow/ArithLost); here we just stop treating them as backlog.
+	c.arithFree = c.lastFailAt
+	c.arithHead, c.arithLen = 0, 0
 	lost := 0
 	if c.busy {
 		c.completion.Stop()

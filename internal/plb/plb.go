@@ -358,7 +358,15 @@ func (p *PLB) inWindow(psn, head, tail uint16) bool {
 // path). The legal check either admits it into BUF/BITMAP or transmits it
 // best-effort; then the reorder check drains the FIFO head.
 func (p *PLB) Return(item any, meta packet.Meta) {
-	now := p.engine.Now()
+	p.ReturnAt(item, meta, p.engine.Now())
+}
+
+// ReturnAt is Return evaluated at virtual time at <= now: the burst drain
+// settles packets whose service finished earlier in the current event, and
+// every age/emission computation uses the packet's own finish time so
+// outcomes do not depend on when the drain event actually ran.
+func (p *PLB) ReturnAt(item any, meta packet.Meta, at sim.Time) {
+	now := at
 	if int(meta.OrdQ) >= len(p.queues) {
 		// Corrupt meta: treat as best-effort.
 		p.emitBestEffort(item, meta, now)
@@ -378,7 +386,7 @@ func (p *PLB) Return(item any, meta packet.Meta) {
 			return
 		}
 		p.emitBestEffort(item, meta, now)
-		p.drain(meta.OrdQ)
+		p.drainAt(meta.OrdQ, now)
 		return
 	}
 	idx := meta.PSN & p.mask
@@ -388,7 +396,7 @@ func (p *PLB) Return(item any, meta packet.Meta) {
 	slot.item = item
 	slot.meta = meta
 	slot.dropped = meta.Flags&packet.MetaFlagDrop != 0
-	p.drain(meta.OrdQ)
+	p.drainAt(meta.OrdQ, now)
 }
 
 func (p *PLB) emitBestEffort(item any, meta packet.Meta, now sim.Time) {
@@ -399,8 +407,10 @@ func (p *PLB) emitBestEffort(item any, meta packet.Meta, now sim.Time) {
 }
 
 // drain runs the reorder check at queue qi's FIFO head until it blocks.
-func (p *PLB) drain(qi uint8) {
-	now := p.engine.Now()
+func (p *PLB) drain(qi uint8) { p.drainAt(qi, p.engine.Now()) }
+
+// drainAt is drain evaluated at virtual time at (see ReturnAt).
+func (p *PLB) drainAt(qi uint8, now sim.Time) {
 	q := &p.queues[qi]
 	for q.head != q.tail {
 		idx := q.head & p.mask

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 
 	"albatross/internal/cluster"
 	"albatross/internal/core"
@@ -118,6 +119,8 @@ func (s *Scenario) evaluate(st *runState, outcome string) []Check {
 		case "min_tx":
 			c.OK = delivered >= a.Count
 			c.Detail = fmt.Sprintf("delivered %d, floor %d", delivered, a.Count)
+		case "expected_table":
+			c.OK, c.Detail = s.checkExpectedTable(st, a)
 		case "byte_identity":
 			c.OK, c.Detail = s.checkByteIdentity(a, outcome)
 		case "replay_identity":
@@ -154,6 +157,42 @@ func (s *Scenario) detectionBound(st *runState, margin float64) uint64 {
 		bound += rate * (float64(exposure) / float64(sim.Second)) / float64(s.Fleet.Nodes)
 	}
 	return uint64(margin * bound)
+}
+
+// checkExpectedTable inspects every member's flow-table backend after the
+// run: the pod pool must have converged to the expected size (pods, -1 to
+// skip), and the cumulative flows moved by pool updates — the Concury
+// disruption metric — must not exceed max_moved (-1 for no ceiling). The
+// worst member decides the verdict; the detail reports per-member values in
+// member order so it stays deterministic.
+func (s *Scenario) checkExpectedTable(st *runState, a Assertion) (bool, string) {
+	ok := true
+	var pools, moved []string
+	for _, mem := range st.cl.Members() {
+		be := mem.Node.Backend()
+		if be == nil {
+			return false, "node has no flow-table backend (internal error: validation requires fleet.backend)"
+		}
+		p := len(be.Pool())
+		mv := be.Stats().Moved
+		if a.Pods >= 0 && p != a.Pods {
+			ok = false
+		}
+		if a.MaxMoved >= 0 && mv > uint64(a.MaxMoved) {
+			ok = false
+		}
+		pools = append(pools, fmt.Sprintf("%d", p))
+		moved = append(moved, fmt.Sprintf("%d", mv))
+	}
+	detail := fmt.Sprintf("%s pool=[%s]", s.Fleet.Backend, strings.Join(pools, " "))
+	if a.Pods >= 0 {
+		detail += fmt.Sprintf(" want %d", a.Pods)
+	}
+	detail += fmt.Sprintf(", moved=[%s]", strings.Join(moved, " "))
+	if a.MaxMoved >= 0 {
+		detail += fmt.Sprintf(" ceiling %d", a.MaxMoved)
+	}
+	return ok, detail
 }
 
 // checkByteIdentity re-executes the scenario (fresh deployments, same

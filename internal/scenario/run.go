@@ -27,6 +27,8 @@ type Overrides struct {
 	Rate       *float64
 	Duration   *sim.Duration
 	CacheMB    *int
+	Backend    *string
+	Burst      *int
 	Report     *bool
 	MetricsOut *string
 	OutcomeOut *string
@@ -60,6 +62,12 @@ func (s *Scenario) Apply(ov Overrides) *Scenario {
 	}
 	if ov.CacheMB != nil {
 		out.Fleet.CacheMB = *ov.CacheMB
+	}
+	if ov.Backend != nil {
+		out.Fleet.Backend = *ov.Backend
+	}
+	if ov.Burst != nil {
+		out.Fleet.Burst = *ov.Burst
 	}
 	if ov.Report != nil {
 		out.Observability.Report = *ov.Report
@@ -167,6 +175,8 @@ func (s *Scenario) exec(shards int, record bool, replayOf *trace.Trace) (*runSta
 		lc := gop.DefaultConfig()
 		ncfg.Limiter = &lc
 	}
+	ncfg.FlowBackend = f.Backend
+	ncfg.Burst = f.Burst
 	cl, err := cluster.New(cluster.Config{
 		Nodes:  f.Nodes,
 		Seed:   s.Seed,
@@ -369,6 +379,17 @@ func (s *Scenario) renderReport(st *runState, res *Result) string {
 	f, w := &s.Fleet, &s.Workload
 	fmt.Fprintf(&b, "scenario %s: %d node(s), %v %s, %d pod(s) x %d cores, seed %d\n",
 		s.Name, f.Nodes, f.Mode, ServiceName(f.Service), f.Pods, f.Cores, s.Seed)
+	if f.Backend != "" || f.Burst > 1 {
+		be := f.Backend
+		if be == "" {
+			be = "legacy"
+		}
+		burst := f.Burst
+		if burst < 1 {
+			burst = 1
+		}
+		fmt.Fprintf(&b, "  dataplane   backend=%s burst=%d\n", be, burst)
+	}
 	if w.Replay != "" {
 		fmt.Fprintf(&b, "  workload    replay %s: %d/%d events injected over %v (+%v drain)\n",
 			w.Replay, st.replayed, st.replayOf, s.Duration, s.Drain)

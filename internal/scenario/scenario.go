@@ -10,6 +10,7 @@ import (
 
 	"albatross/internal/errs"
 	"albatross/internal/faults"
+	"albatross/internal/flowtable"
 	"albatross/internal/pod"
 	"albatross/internal/service"
 	"albatross/internal/sim"
@@ -74,6 +75,14 @@ type Fleet struct {
 	AutoFallback bool
 	// QueueDepth overrides the per-core RX queue depth (0 = default 1024).
 	QueueDepth int
+	// Backend selects the node-level flow-table backend steering ingress
+	// flows to pods ("" = legacy first-pod injection; "session" or
+	// "othello").
+	Backend string
+	// Burst batches same-instant packet arrivals through one NIC event per
+	// burst (0 or 1 = legacy per-packet path). Burst > 1 disables the
+	// flight recorder, so it rejects trace-sampling observability.
+	Burst int
 }
 
 // Workload describes the offered traffic: either a synthetic flow mix or
@@ -173,8 +182,8 @@ type Observability struct {
 // Assertion is one declarative postcondition, checked after the run.
 type Assertion struct {
 	// Type selects the check: conservation, zero_loss, max_loss,
-	// remap_bound, detection_window, latency, min_tx, byte_identity,
-	// replay_identity.
+	// remap_bound, detection_window, latency, min_tx, expected_table,
+	// byte_identity, replay_identity.
 	Type string
 	// Fraction is the loss ceiling for max_loss (of sprayed packets).
 	Fraction float64
@@ -193,6 +202,12 @@ type Assertion struct {
 	Runs int
 	// Shards lists extra shard counts byte_identity re-executes at.
 	Shards []int
+	// Pods is expected_table's required per-node backend pool size
+	// (-1 = don't check the pool size).
+	Pods int
+	// MaxMoved is expected_table's per-cluster ceiling on flows the
+	// backend remapped across pool updates (-1 = no ceiling).
+	MaxMoved int
 	// Line is the source line (0 for programmatic scenarios).
 	Line int
 }
@@ -455,13 +470,29 @@ func decodeFleet(n *ynode, f *Fleet) error {
 	d.integer("ctrl_cores", &f.CtrlCores)
 	d.integer("cache_mb", &f.CacheMB)
 	d.integer("queue_depth", &f.QueueDepth)
+	d.integer("burst", &f.Burst)
 	d.boolean("limiter", &f.Limiter)
 	d.boolean("auto_fallback", &f.AutoFallback)
 	var svc, mode string
 	d.str("service", &svc)
 	d.str("mode", &mode)
+	d.str("backend", &f.Backend)
 	if err := d.finish(); err != nil {
 		return err
+	}
+	if f.Backend != "" {
+		ok := false
+		for _, name := range flowtable.BackendNames() {
+			if f.Backend == name {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return yamlErr(n.get("backend").line,
+				"fleet.backend: unknown backend %q (want %s)",
+				f.Backend, strings.Join(flowtable.BackendNames(), "|"))
+		}
 	}
 	if svc != "" {
 		st, ok := serviceNames[svc]
@@ -658,6 +689,15 @@ func decodeAssertion(n *ynode) (Assertion, error) {
 		if d.err == nil && n.get("count") == nil {
 			return Assertion{}, yamlErr(n.line, "assertion: min_tx needs a \"count\"")
 		}
+	case "expected_table":
+		a.Pods = -1
+		a.MaxMoved = -1
+		d.integer("pods", &a.Pods)
+		d.integer("max_moved", &a.MaxMoved)
+		if d.err == nil && n.get("pods") == nil && n.get("max_moved") == nil {
+			return Assertion{}, yamlErr(n.line,
+				"assertion: expected_table needs \"pods\" and/or \"max_moved\"")
+		}
 	case "byte_identity":
 		a.Runs = 2
 		d.integer("runs", &a.Runs)
@@ -678,7 +718,7 @@ func decodeAssertion(n *ynode) (Assertion, error) {
 		}
 	default:
 		return Assertion{}, yamlErr(n.get("type").line,
-			"assertion: unknown type %q (want conservation|zero_loss|max_loss|remap_bound|detection_window|latency|min_tx|byte_identity|replay_identity)", a.Type)
+			"assertion: unknown type %q (want conservation|zero_loss|max_loss|remap_bound|detection_window|latency|min_tx|expected_table|byte_identity|replay_identity)", a.Type)
 	}
 	if err := d.finish(); err != nil {
 		return Assertion{}, err
@@ -717,6 +757,16 @@ func (s *Scenario) Validate() error {
 	}
 	if f.CacheMB < 0 {
 		return bad(0, "%s: fleet.cache_mb must be >= 0", s.Name)
+	}
+	if f.Burst < 0 {
+		return bad(0, "%s: fleet.burst must be >= 0", s.Name)
+	}
+	if f.Burst > 1 {
+		o := &s.Observability
+		if o.TraceSample > 0 || o.TraceDump != "" || o.TraceLatencyOver > 0 ||
+			o.TraceVNI >= 0 || o.TraceFaultWindow {
+			return bad(0, "%s: fleet.burst > 1 disables the flight recorder; remove the trace observability keys", s.Name)
+		}
 	}
 	w := &s.Workload
 	if w.Replay == "" {
@@ -782,6 +832,13 @@ func (s *Scenario) Validate() error {
 		case "min_tx":
 			if a.Count < 1 {
 				return bad(a.Line, "%s: assertion %d: min_tx count must be >= 1", s.Name, i)
+			}
+		case "expected_table":
+			if s.Fleet.Backend == "" {
+				return bad(a.Line, "%s: assertion %d: expected_table requires fleet.backend", s.Name, i)
+			}
+			if a.Pods < 0 && a.MaxMoved < 0 {
+				return bad(a.Line, "%s: assertion %d: expected_table needs pods >= 0 and/or max_moved >= 0", s.Name, i)
 			}
 		case "byte_identity":
 			if a.Runs < 1 {

@@ -166,6 +166,9 @@ type Service struct {
 	denied map[packet.FiveTuple]bool
 	// acl, when set via SetACL, adds rule-based filtering on top.
 	acl *ACL
+
+	// warmSink absorbs WarmProbes' reads so they are not elided.
+	warmSink uint64
 }
 
 // New creates a service instance.
@@ -241,6 +244,42 @@ func (s *Service) TableMemoryBytes() int64 {
 // RouteCount returns the number of installed LPM routes.
 func (s *Service) RouteCount() int { return s.routes.Len() }
 
+// WarmProbes reads the exact-match probe-chain heads for fh without looking
+// anything up: independent loads that start the host cache misses early. No
+// model state is touched.
+func (s *Service) WarmProbes(fh uint32) {
+	var sink uint64
+	for _, tb := range s.tables {
+		sink += tb.WarmHash(fh)
+	}
+	s.warmSink += sink
+}
+
+// Warm pre-touches the host cache lines ProcessHash(flow, vni, fh) will
+// need — the exact-match entries' modelled sets and the LPM node sets —
+// without mutating any model state (LookupHash is read-only and Cache.Warm
+// updates nothing). Burst-batched dispatch calls WarmProbes two members
+// ahead and Warm one member ahead, so each member's memory is in flight
+// while its predecessor computes; results are bit-identical either way.
+func (s *Service) Warm(flow packet.FiveTuple, fh uint32) {
+	for _, tb := range s.tables {
+		if e := tb.LookupHash(flow, fh); e != nil {
+			s.cfg.Cache.Warm(e.Addr, e.SizeBytes)
+		}
+	}
+	var addrs [3]uint64
+	for i := 0; i < s.prof.lpmLookups; i++ {
+		dst := flow.Dst.Uint32()
+		if i == 1 {
+			dst = flow.Src.Uint32()
+		}
+		s.lpmAccessAddrs(dst, &addrs)
+		for _, a := range addrs {
+			s.cfg.Cache.Warm(a, 64)
+		}
+	}
+}
+
 // lpmAccessAddrs derives the synthetic trie-node addresses an LPM lookup
 // for dst touches. Top levels are shared across all flows (hot in cache);
 // the leaf level fans out per /24 (cold) — matching real multibit-trie
@@ -259,12 +298,18 @@ func (s *Service) lpmAccessAddrs(dst uint32, out *[3]uint64) {
 // Populate; unknown flows take the slow path (a miss-heavy ACL default
 // deny) and are dropped.
 func (s *Service) Process(flow packet.FiveTuple, vni uint32) Result {
+	return s.ProcessHash(flow, vni, flow.Hash())
+}
+
+// ProcessHash is Process with the caller-precomputed flow.Hash() — the
+// burst path hashes once during its warm pass and reuses the value here.
+func (s *Service) ProcessHash(flow packet.FiveTuple, vni uint32, fh uint32) Result {
 	var hits, misses int
 
-	// Exact-match chain.
+	// Exact-match chain; one tuple hash shared across the chained tables.
 	known := true
 	for _, tb := range s.tables {
-		e := tb.Lookup(flow)
+		e := tb.LookupHash(flow, fh)
 		if e == nil {
 			known = false
 			break
@@ -296,7 +341,9 @@ func (s *Service) Process(flow packet.FiveTuple, vni uint32) Result {
 	cpuNS := s.prof.baseNS * s.cfg.ComputeMult
 	cost := sim.Duration(memNS + cpuNS)
 
-	drop := !known || s.denied[flow]
+	// The len guard skips the map hash entirely in the common no-ACL-state
+	// case; s.denied is only populated for VPC-Internet deny rules.
+	drop := !known || (len(s.denied) != 0 && s.denied[flow])
 	if !drop && s.acl != nil && s.acl.Evaluate(flow) == ACLDeny {
 		drop = true
 	}

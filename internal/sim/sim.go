@@ -116,6 +116,13 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events processed so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
+// SchedSeq returns the sequence number the next scheduled event will get.
+// Because seq increments on every AtArg/AfterArg, comparing SchedSeq across
+// two points in a callback detects whether anything was scheduled in between
+// — the burst dispatcher uses it to decide if an open burst can still absorb
+// a packet without reordering against interleaved events.
+func (e *Engine) SchedSeq() uint64 { return e.seq }
+
 // Timer is a value handle to a scheduled event; it can be cancelled. The
 // zero Timer is inert: Stop reports false. Handles stay valid after the
 // event fires (Stop just reports false) because the generation counter

@@ -104,6 +104,31 @@ func (h *Histogram) RecordZero() {
 	}
 }
 
+// RecordN adds n samples of the same value — one bucket-index computation
+// for the whole batch. A burst of packets entering a stage at one virtual
+// time shares a single residency value, so the burst path records it once.
+func (h *Histogram) RecordN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := h.index(v)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i] += n
+	h.count += n
+	h.sum += v * int64(n)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
 // SubBits returns the histogram's precision parameter (sub-buckets per
 // magnitude = 1<<SubBits).
 func (h *Histogram) SubBits() uint { return h.subBits }

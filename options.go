@@ -93,6 +93,24 @@ func WithShards(n int) Option {
 	return func(c *Config) { c.Shards = n }
 }
 
+// WithFlowBackend selects the node-level flow-table backend steering
+// Node.Ingress (and cluster member ingress) across pods: "session" keeps a
+// per-flow session table, "othello" is the Concury-style stateless
+// minimal-perfect-hash map with zero-disruption pool updates. Empty (the
+// default) keeps the legacy first-pod path.
+func WithFlowBackend(name string) Option {
+	return func(c *Config) { c.Node.FlowBackend = name }
+}
+
+// WithBurst enables burst-batched dispatch: up to n same-instant injections
+// share one NIC arrival event and complete through arithmetic CPU admission
+// plus one per-pod drain event. n <= 1 (the default) keeps the per-packet
+// event path bit-for-bit; outcomes at n > 1 are invariant in n for a fixed
+// backend. Burst mode disables the flight recorder.
+func WithBurst(n int) Option {
+	return func(c *Config) { c.Node.Burst = n }
+}
+
 func resolve(opts []Option) Config {
 	var cfg Config
 	for _, opt := range opts {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fmt-check metrics-check replay-check fleet-check gameday concury-check ci clean
+.PHONY: all build test vet race bench fmt-check metrics-check replay-check fleet-check gameday concury-check series-check ci clean
 
 all: build test
 
@@ -11,7 +11,7 @@ fmt-check:
 
 # The full gate: build, vet, formatting, unit tests, then the race-checked
 # packages. Runs staticcheck too when it is installed.
-ci: build vet fmt-check test race metrics-check replay-check fleet-check gameday concury-check
+ci: build vet fmt-check test race metrics-check replay-check fleet-check gameday concury-check series-check
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; staticcheck ./...; \
 	else echo "staticcheck not installed; skipping"; fi
@@ -32,7 +32,7 @@ vet:
 # The race detector slows the eval experiments ~10x, so the default 10m
 # per-package test timeout is not enough headroom.
 race:
-	$(GO) test -race -timeout 30m ./internal/sim/ ./internal/eval/ ./internal/flowtable/ ./internal/cluster/ ./internal/core/ ./internal/workload/trace/ ./internal/scenario/
+	$(GO) test -race -timeout 30m ./internal/sim/ ./internal/eval/ ./internal/flowtable/ ./internal/cluster/ ./internal/core/ ./internal/workload/trace/ ./internal/scenario/ ./internal/metrics/
 
 # Runs the packet-path microbenchmarks (single node and the 3-node /
 # 8-node / sharded cluster variants) and records ns/op, B/op and allocs/op
@@ -128,6 +128,27 @@ concury-check:
 	@$(GO) run ./cmd/albatross-bench -exp concury -quick >/dev/null || \
 		{ echo "concury-check: experiment checks failed (run: go run ./cmd/albatross-bench -exp concury -quick)"; exit 1; }
 	@echo "concury-check: othello/session backend checks passed"
+
+# Timeline determinism gate: the convergence drill's sampled series must
+# export byte-for-byte identical CSV and JSON across a repeat run, across
+# shard counts (1 vs 3), and across dispatch burst sizes (per-packet vs
+# burst 8) — the three axes the timeline's tick-boundary epoch barrier
+# promises not to perturb.
+series-check: build
+	@tmp=$$(mktemp -d); rc=0; \
+	$(GO) build -o $$tmp/asim ./cmd/albatross-sim; \
+	for v in "base -series-out XX/a" "repeat -series-out XX/b" "shards -shards 3 -series-out XX/c" "burst -burst 8 -series-out XX/d"; do \
+		set -- $$v; name=$$1; shift; \
+		timeout 240 $$tmp/asim run $$(echo "$$@" | sed "s|XX|$$tmp|g") scenarios/convergence-drill.yaml >/dev/null 2>&1 \
+			|| { echo "series-check: $$name run failed"; rc=1; }; \
+	done; \
+	for f in b c d; do \
+		cmp $$tmp/a.csv $$tmp/$$f.csv && cmp $$tmp/a.json $$tmp/$$f.json \
+			|| { echo "series-check: series export $$f diverged from base"; rc=1; }; \
+	done; \
+	rm -rf $$tmp; \
+	if [ $$rc -ne 0 ]; then echo "series-check: timeline exports not byte-identical"; exit 1; fi; \
+	echo "series-check: series byte-identical across repeat, shards 1/3, burst 1/8"
 
 clean:
 	rm -f BENCH_packetpath.json albatross-bench

@@ -29,6 +29,7 @@ type clusterRun struct {
 	outcomeOut  string
 	traceDump   string
 	metricsAddr string
+	seriesOut   string
 	trigLat     time.Duration
 	trigVNI     int
 	trigFault   bool
@@ -155,6 +156,18 @@ func runCluster(cr clusterRun) {
 		}
 		fmt.Printf("  trace       %d events -> %s (+ .json sidecar)\n", rec.Events(), cr.recordOut)
 	}
+	if cr.seriesOut != "" {
+		tl := cl.Timeline()
+		if tl == nil {
+			fmt.Fprintln(os.Stderr, "-series-out needs -snapshot-every > 0 to sample a timeline")
+			os.Exit(1)
+		}
+		if err := writeSeries(cr.seriesOut, tl); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  series      %s.csv %s.json (%d ticks)\n", cr.seriesOut, cr.seriesOut, tl.Len())
+	}
 	if cr.outcomeOut != "" {
 		if err := os.WriteFile(cr.outcomeOut, []byte(cl.Outcome()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -179,6 +192,20 @@ func runCluster(cr clusterRun) {
 		fmt.Printf("  journeys    %d committed -> %s.journeys.json\n", committed, cr.traceDump)
 	}
 	if cr.metricsAddr != "" {
-		serveMetrics(cr.metricsAddr, cl.Metrics())
+		serveMetrics(cr.metricsAddr, cl.Metrics(), cl.Timeline())
 	}
+}
+
+// writeSeries exports one sampled timeline as both CSV and JSON. Both
+// files are byte-identical across repeat runs, shard counts, and burst
+// sizes at a fixed seed.
+func writeSeries(prefix string, tl *albatross.Timeline) error {
+	if err := os.WriteFile(prefix+".csv", []byte(tl.CSV()), 0o644); err != nil {
+		return err
+	}
+	j, err := tl.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(prefix+".json", j, 0o644)
 }

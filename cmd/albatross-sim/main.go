@@ -103,6 +103,8 @@ func legacyFlags() *legacyArgs {
 	a.outcomeOut = flag.String("outcome-out", "", "write the per-node outcome report to this file (works from 1 node up) [scenario: observability.outcome_out]")
 	a.traceDump = flag.String("trace-dump", "", "write committed flight-recorder journeys to PREFIX.journeys.json [scenario: observability.trace_dump]")
 	a.metricsAddr = flag.String("metrics-listen", "", "after the run, serve the frozen metrics snapshot at http://ADDR/metrics (blocks) [scenario: n/a, flag only]")
+	a.snapshotEvery = flag.Duration("snapshot-every", 0, "sample a telemetry timeline every this much virtual time (cluster path; 0 disables) [scenario: observability.snapshot_every]")
+	a.seriesOut = flag.String("series-out", "", "write the sampled timeline to PREFIX.csv and PREFIX.json (implies cluster path; needs -snapshot-every) [scenario: observability.series_out]")
 	a.traceSample = flag.Int("trace-sample", 0, "flight-record every Nth packet (0 disables; -trace-dump and trigger flags default it to 64) [scenario: observability.trace_sample]")
 	a.trigLat = flag.Duration("trace-latency-over", 0, "flight-recorder trigger: commit journeys slower than this end to end [scenario: observability.trace_latency_over]")
 	a.trigVNI = flag.Int("trace-vni", -1, "flight-recorder trigger: commit journeys of this tenant VNI [scenario: observability.trace_vni]")
@@ -121,10 +123,10 @@ type legacyArgs struct {
 	limiter, report, autoFB, trigFault           *bool
 	pcapOut, metrics, recordOut, replayIn        *string
 	replayDiff, outcomeOut, traceDump, backend   *string
-	metricsAddr                                  *string
+	metricsAddr, seriesOut                       *string
 	nodes, shards, cacheMB, traceSample, trigVNI *int
 	burst                                        *int
-	trigLat                                      *time.Duration
+	trigLat, snapshotEvery                       *time.Duration
 	ff                                           faultFlag
 }
 
@@ -197,18 +199,22 @@ func legacyMain() {
 	}
 
 	// A cluster deployment handles any node count ≥ 1; single-node runs
-	// that need the outcome artifact go through it too, so -outcome-out
-	// works without -nodes > 1.
-	if *nodes > 1 || *outcomeOut != "" {
+	// that need the outcome artifact or timeline sampling go through it
+	// too, so -outcome-out / -snapshot-every work without -nodes > 1.
+	if *nodes > 1 || *outcomeOut != "" || *a.snapshotEvery > 0 || *a.seriesOut != "" {
+		clOpts := append(opts, albatross.WithNodes(*nodes), albatross.WithShards(*shards))
+		if *a.snapshotEvery > 0 {
+			clOpts = append(clOpts, albatross.WithSnapshotEvery(albatross.Duration(a.snapshotEvery.Nanoseconds())))
+		}
 		runCluster(clusterRun{
-			opts:    append(opts, albatross.WithNodes(*nodes), albatross.WithShards(*shards)),
+			opts:    clOpts,
 			podCfg:  podCfg(),
 			svcName: *svcName, cores: *cores, flows: *flows,
 			tenants: *tenants, rate: *rate, duration: *duration, seed: *seed,
 			autoFB: *autoFB, report: *report, hasFaults: len(ff.plan.Faults) > 0,
 			metricsOut: *metrics,
 			recordOut:  *recordOut, replayIn: *replayIn, outcomeOut: *outcomeOut,
-			traceDump: *traceDump, metricsAddr: *metricsAddr,
+			traceDump: *traceDump, metricsAddr: *metricsAddr, seriesOut: *a.seriesOut,
 			trigLat: *trigLat, trigVNI: *trigVNI, trigFault: *trigFault,
 		})
 		return
@@ -356,7 +362,7 @@ func legacyMain() {
 		fmt.Printf("  journeys    %d committed -> %s.journeys.json\n", pod.Flight().Committed(), *traceDump)
 	}
 	if *metricsAddr != "" {
-		serveMetrics(*metricsAddr, node.Metrics())
+		serveMetrics(*metricsAddr, node.Metrics(), nil)
 	}
 }
 

@@ -119,11 +119,16 @@ func dumpJourneys(prefix string, pods map[string]*albatross.PodRuntime, order []
 }
 
 // serveMetrics blocks serving the frozen post-run snapshot at
-// http://addr/metrics — a scrape target for ad-hoc inspection, entirely
-// off the (already finished) simulation.
-func serveMetrics(addr string, snap *albatross.MetricsSnapshot) {
+// http://addr/metrics (Prometheus text) and /metrics.json, plus the
+// sampled timeline at /series (CSV) and /series.json when tl is non-nil
+// — scrape targets for ad-hoc inspection, entirely off the (already
+// finished) simulation.
+func serveMetrics(addr string, snap *albatross.MetricsSnapshot, tl *albatross.Timeline) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", albatross.MetricsHandler(func() *albatross.MetricsSnapshot { return snap }))
+	mux.Handle("/metrics.json", albatross.MetricsJSONHandler(func() *albatross.MetricsSnapshot { return snap }))
+	mux.Handle("/series", albatross.SeriesHandler(func() *albatross.Timeline { return tl }))
+	mux.Handle("/series.json", albatross.SeriesJSONHandler(func() *albatross.Timeline { return tl }))
 	fmt.Fprintf(os.Stderr, "  serving metrics at http://%s/metrics (ctrl-c to stop)\n", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -36,6 +36,8 @@ func runScenarioCmd(args []string) {
 		record   = fs.String("record", "", "override observability.record")
 		dump     = fs.String("trace-dump", "", "override observability.trace_dump")
 		replay   = fs.String("replay", "", "override workload.replay (trace file to replay)")
+		snapshot = fs.Duration("snapshot-every", 0, "override observability.snapshot_every (timeline sampling period)")
+		series   = fs.String("series-out", "", "override observability.series_out (write timeline to PREFIX.csv and PREFIX.json)")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -82,6 +84,11 @@ func runScenarioCmd(args []string) {
 			ov.TraceDump = dump
 		case "replay":
 			ov.Replay = replay
+		case "snapshot-every":
+			d := albatross.Duration(snapshot.Nanoseconds())
+			ov.SnapshotEvery = &d
+		case "series-out":
+			ov.SeriesOut = series
 		}
 	})
 

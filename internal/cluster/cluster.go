@@ -53,6 +53,12 @@ type Config struct {
 	// internal/sim.ShardedEngine). Outcome reports and metrics exports are
 	// byte-identical at any shard count.
 	Shards int
+	// SnapshotEvery, when positive, samples a telemetry timeline every
+	// SnapshotEvery of virtual time: RunFor slices its advance at tick
+	// boundaries (an epoch barrier under the sharded protocol) and records
+	// per-tick deltas of the cluster-level series into Timeline(). Zero
+	// disables sampling; the packet path is untouched either way.
+	SnapshotEvery sim.Duration
 }
 
 // memberState tracks a member's lifecycle for reporting; ECMP eligibility
@@ -138,6 +144,11 @@ type Cluster struct {
 	Sprayed  uint64
 	Remapped uint64
 	Drops    uint64
+
+	// timeline is the periodic sampler (nil unless Config.SnapshotEvery is
+	// set), armed lazily at the first RunFor so pods deployed via AddPod
+	// are visible to its probe histogram.
+	timeline *metrics.Timeline
 }
 
 // foreverDuration stands in for "permanent" when a fault's Duration is 0.
@@ -163,6 +174,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("cluster: Shards %d must be >= 0: %w", cfg.Shards, errs.BadConfig)
+	}
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("cluster: SnapshotEvery %d must be >= 0: %w", cfg.SnapshotEvery, errs.BadConfig)
 	}
 	shards := cfg.Shards
 	if shards == 0 {
@@ -345,11 +359,93 @@ func (c *Cluster) Sink() func(workload.Flow, int) {
 // legacy path, the full epoch protocol (control plus all shards, in
 // parallel) when sharded.
 func (c *Cluster) RunFor(d sim.Duration) {
+	c.RunUntil(c.Engine.Now().Add(d))
+}
+
+// RunUntil advances the cluster to exactly deadline. With SnapshotEvery
+// set, the advance is sliced at timeline tick boundaries: every engine is
+// driven to quiescence at exactly the tick time (an epoch barrier under
+// the sharded protocol — see DESIGN.md §14) before the sampler reads, so
+// the recorded series are byte-identical at any shard count and any
+// dispatch burst size. Slicing is semantically free: RunUntil(a) then
+// RunUntil(b) executes the identical event schedule as RunUntil(b).
+func (c *Cluster) RunUntil(deadline sim.Time) {
+	if c.cfg.SnapshotEvery > 0 && c.timeline == nil {
+		c.armTimeline()
+	}
+	if c.timeline != nil {
+		for c.timeline.Next() <= deadline {
+			tick := c.timeline.Next()
+			c.runEnginesUntil(tick)
+			c.timeline.Sample(tick)
+		}
+	}
+	c.runEnginesUntil(deadline)
+}
+
+// runEnginesUntil drives the underlying engine(s) to quiescence at exactly
+// deadline.
+func (c *Cluster) runEnginesUntil(deadline sim.Time) {
 	if c.sharded != nil {
-		c.sharded.RunFor(d)
+		c.sharded.RunUntil(deadline)
 		return
 	}
-	c.Engine.RunFor(d)
+	c.Engine.RunUntil(deadline)
+}
+
+// Timeline returns the periodic telemetry sampler, or nil when
+// Config.SnapshotEvery is zero or the cluster has not run yet.
+func (c *Cluster) Timeline() *metrics.Timeline { return c.timeline }
+
+// armTimeline builds the sampler over a dedicated bounded registry — the
+// cluster-level aggregates — rather than the full RegisterMetrics set,
+// whose per-node series would make a 1000-node timeline O(nodes) columns
+// wide per tick.
+//
+// Every sampled value is switch-plane (counted at injection time) or
+// control-plane (BFD/uplink timer) state. Egress-side state — pod Tx,
+// completion latency histograms — is deliberately excluded: burst-batched
+// dispatch preserves end-of-run totals bit for bit but may move a
+// packet's completion across a tick boundary, so per-tick windows over
+// egress counters would break the burst-size half of the byte-identity
+// contract. The injection schedule and routing decisions are identical
+// under every execution strategy, so these series are not.
+func (c *Cluster) armTimeline() {
+	reg := metrics.New()
+	reg.Counter("albatross_cluster_sprayed_packets_total",
+		"Ingress packets offered to the ECMP layer.",
+		func() uint64 { return c.Sprayed })
+	reg.Counter("albatross_cluster_admitted_packets_total",
+		"Packets the ToR forwarded to a live member (sprayed minus switch drops and blackhole loss).",
+		func() uint64 { return c.Sprayed - c.Drops - c.Blackholed() })
+	reg.Counter("albatross_cluster_remapped_packets_total",
+		"Packets delivered away from their ring home (failover spillover).",
+		func() uint64 { return c.Remapped })
+	reg.Counter("albatross_cluster_switch_drops_total",
+		"Packets with no eligible member.",
+		func() uint64 { return c.Drops })
+	reg.Counter("albatross_cluster_blackholed_packets_total",
+		"Packets lost at dead links (BFD detection-window loss).",
+		func() uint64 { return c.Blackholed() })
+	reg.Gauge("albatross_cluster_eligible_members",
+		"Members the switch would currently ECMP traffic to.",
+		func() float64 {
+			n := 0
+			for i := range c.members {
+				if c.eligible(i) {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	tl := metrics.NewTimeline(reg, c.cfg.SnapshotEvery)
+	// Availability: per-tick admitted/sprayed; an idle tick is fully
+	// available (nothing offered, nothing lost).
+	tl.AddRatio("availability",
+		"albatross_cluster_admitted_packets_total",
+		"albatross_cluster_sprayed_packets_total", 1)
+	tl.Start(c.Engine.Now())
+	c.timeline = tl
 }
 
 // Shards returns the effective shard count (1 = legacy shared engine).

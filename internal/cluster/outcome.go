@@ -65,6 +65,13 @@ func (c *Cluster) Outcome() string {
 	sum := fnv.New64a()
 	sum.Write([]byte(prom))
 	fmt.Fprintf(&b, "metrics/fnv64a | %#016x bytes=%d\n", sum.Sum64(), len(prom))
+	// With sampling enabled, fingerprint the timeline CSV too: the
+	// byte_identity/replay_identity assertions compare Outcome strings, so
+	// this one line extends their coverage to the full series export.
+	if tl := c.Timeline(); tl != nil {
+		ssum, n := tl.Checksum()
+		fmt.Fprintf(&b, "series/fnv64a | %#016x bytes=%d ticks=%d\n", ssum, n, tl.Len())
+	}
 	return b.String()
 }
 

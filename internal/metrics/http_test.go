@@ -45,3 +45,88 @@ func TestHandlerServesPrometheusText(t *testing.T) {
 		t.Fatalf("POST /metrics: status %d, want 405", rec.Code)
 	}
 }
+
+// TestJSONHandler pins /metrics.json: the snapshot JSON form with an
+// explicit JSON content type and the same method gate as /metrics.
+func TestJSONHandler(t *testing.T) {
+	reg := New()
+	reg.Gauge("albatross_test_depth", "Test gauge.", func() float64 { return 3.5 })
+	h := JSONHandler(reg.Snapshot)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics.json: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != JSONContentType {
+		t.Fatalf("content type %q, want %q", ct, JSONContentType)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `"albatross_test_depth"`) || !strings.Contains(body, "3.5") {
+		t.Fatalf("JSON body missing gauge:\n%s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("PUT", "/metrics.json", nil))
+	if rec.Code != 405 {
+		t.Fatalf("PUT /metrics.json: status %d, want 405", rec.Code)
+	}
+}
+
+// TestSeriesHandlers pins /series and /series.json: CSV and JSON timeline
+// exports with explicit content types, and 404 when sampling is off.
+func TestSeriesHandlers(t *testing.T) {
+	reg := New()
+	var pkts uint64
+	reg.Counter("albatross_test_pkts_total", "Test counter.", func() uint64 { return pkts })
+	tl := NewTimeline(reg, 10_000_000) // 10ms in ns
+	tl.Start(0)
+	pkts = 5
+	tl.Sample(tl.Next())
+
+	csvH := SeriesHandler(func() *Timeline { return tl })
+	rec := httptest.NewRecorder()
+	csvH.ServeHTTP(rec, httptest.NewRequest("GET", "/series", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /series: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != CSVContentType {
+		t.Fatalf("content type %q, want %q", ct, CSVContentType)
+	}
+	if got := rec.Body.String(); got != tl.CSV() {
+		t.Fatalf("/series body != Timeline.CSV():\n%s", got)
+	}
+
+	jsonH := SeriesJSONHandler(func() *Timeline { return tl })
+	rec = httptest.NewRecorder()
+	jsonH.ServeHTTP(rec, httptest.NewRequest("GET", "/series.json", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /series.json: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != JSONContentType {
+		t.Fatalf("content type %q, want %q", ct, JSONContentType)
+	}
+	if !strings.Contains(rec.Body.String(), `"albatross_test_pkts_total"`) {
+		t.Fatalf("/series.json missing column key:\n%s", rec.Body.String())
+	}
+
+	// Sampling disabled: 404, not an empty document.
+	rec = httptest.NewRecorder()
+	SeriesHandler(func() *Timeline { return nil }).
+		ServeHTTP(rec, httptest.NewRequest("GET", "/series", nil))
+	if rec.Code != 404 {
+		t.Fatalf("GET /series with sampling off: status %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	SeriesJSONHandler(func() *Timeline { return nil }).
+		ServeHTTP(rec, httptest.NewRequest("GET", "/series.json", nil))
+	if rec.Code != 404 {
+		t.Fatalf("GET /series.json with sampling off: status %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	csvH.ServeHTTP(rec, httptest.NewRequest("POST", "/series", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /series: status %d, want 405", rec.Code)
+	}
+}

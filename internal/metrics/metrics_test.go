@@ -177,3 +177,76 @@ func TestFindRejectsAmbiguity(t *testing.T) {
 		t.Fatal("missing family returned ok")
 	}
 }
+
+func TestPromLabelsEscaping(t *testing.T) {
+	cases := []struct {
+		name   string
+		labels []Label
+		extraK string
+		extraV string
+		want   string
+	}{
+		{"empty", nil, "", "", ""},
+		{"plain", []Label{L("a", "x")}, "", "", `{a="x"}`},
+		{"quote", []Label{L("a", `va"l`)}, "", "", `{a="va\"l"}`},
+		{"backslash", []Label{L("a", `c:\tmp`)}, "", "", `{a="c:\\tmp"}`},
+		{"newline", []Label{L("a", "line1\nline2")}, "", "", `{a="line1\nline2"}`},
+		{"all-three", []Label{L("a", "\"\\\n")}, "", "", `{a="\"\\\n"}`},
+		{"extra-only", nil, "quantile", "0.99", `{quantile="0.99"}`},
+		{"labels-plus-extra", []Label{L("a", "x")}, "quantile", "0.5", `{a="x",quantile="0.5"}`},
+		{"extra-escaped", nil, "q", "v\"w", `{q="v\"w"}`},
+	}
+	for _, tc := range cases {
+		if got := promLabels(tc.labels, tc.extraK, tc.extraV); got != tc.want {
+			t.Errorf("%s: promLabels = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPromLabelsEscapingInExposition(t *testing.T) {
+	// End to end: a hostile label value must survive the full Prometheus
+	// render without breaking the line structure.
+	r := New()
+	r.Counter("evil_total", "evil", func() uint64 { return 1 }, L("path", "a\\b\"c\nd"))
+	out := r.Snapshot().Prometheus()
+	want := `evil_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing escaped series line %q:\n%s", want, out)
+	}
+	if strings.Count(out, "\n") != 3 { // HELP, TYPE, series
+		t.Fatalf("raw newline leaked into exposition:\n%q", out)
+	}
+}
+
+func TestFindEdges(t *testing.T) {
+	r := New()
+	r.Counter("multi_total", "m", func() uint64 { return 1 }, L("pod", "a"), L("zone", "east"))
+	r.Counter("multi_total", "m", func() uint64 { return 2 }, L("pod", "b"), L("zone", "east"))
+	r.Gauge("single", "s", func() float64 { return 9 })
+	s := r.Snapshot()
+
+	// A filter matching several series of one family must not pick one.
+	if _, ok := s.Find("multi_total", L("zone", "east")); ok {
+		t.Fatal("multi-match Find returned ok")
+	}
+	// Narrowing to a unique series succeeds, including with a subset filter.
+	if v, ok := s.Find("multi_total", L("pod", "b")); !ok || v.Value != 2 {
+		t.Fatalf("unique subset Find = (%v, %v), want (2, true)", v.Value, ok)
+	}
+	// Right family, no label match.
+	if _, ok := s.Find("multi_total", L("pod", "zzz")); ok {
+		t.Fatal("no-match labels returned ok")
+	}
+	// Label value exists but under another key.
+	if _, ok := s.Find("multi_total", L("zone", "a")); ok {
+		t.Fatal("key/value crosswired Find returned ok")
+	}
+	// More filter labels than the series carries.
+	if _, ok := s.Find("single", L("pod", "a")); ok {
+		t.Fatal("over-constrained Find returned ok")
+	}
+	// Empty filter on a single-series family still works.
+	if v, ok := s.Find("single"); !ok || v.Value != 9 {
+		t.Fatalf("empty-filter Find = (%v, %v), want (9, true)", v.Value, ok)
+	}
+}

@@ -121,6 +121,10 @@ func (s *Scenario) evaluate(st *runState, outcome string) []Check {
 			c.Detail = fmt.Sprintf("delivered %d, floor %d", delivered, a.Count)
 		case "expected_table":
 			c.OK, c.Detail = s.checkExpectedTable(st, a)
+		case "converge":
+			c.OK, c.Detail = s.checkConverge(st, a)
+		case "window_max":
+			c.OK, c.Detail = s.checkWindowMax(st, a)
 		case "byte_identity":
 			c.OK, c.Detail = s.checkByteIdentity(a, outcome)
 		case "replay_identity":
@@ -193,6 +197,102 @@ func (s *Scenario) checkExpectedTable(st *runState, a Assertion) (bool, string) 
 		detail += fmt.Sprintf(" ceiling %d", a.MaxMoved)
 	}
 	return ok, detail
+}
+
+// timelineSeries resolves one named column of the run's timeline, with a
+// deterministic failure detail when sampling is off or the key is unknown.
+func timelineSeries(st *runState, key string) ([]sim.Time, []float64, string) {
+	tl := st.cl.Timeline()
+	if tl == nil {
+		return nil, nil, "timeline not sampled (internal error: validation requires snapshot_every)"
+	}
+	vals, ok := tl.Values(key)
+	if !ok {
+		return nil, nil, fmt.Sprintf("unknown series %q (columns: %s)", key, strings.Join(tl.Keys(), ", "))
+	}
+	return tl.Ticks(), vals, ""
+}
+
+// checkConverge verifies a recovery trajectory: the named series must
+// return to — and stay within tolerance of — its pre-event baseline (the
+// mean over ticks before the first scripted event) no later than `within`
+// after the last scripted event fires.
+func (s *Scenario) checkConverge(st *runState, a Assertion) (bool, string) {
+	ticks, vals, detail := timelineSeries(st, a.Series)
+	if detail != "" {
+		return false, detail
+	}
+	firstAt, lastAt := s.Events[0].At, s.Events[0].At
+	for _, ev := range s.Events[1:] {
+		if ev.At < firstAt {
+			firstAt = ev.At
+		}
+		if ev.At > lastAt {
+			lastAt = ev.At
+		}
+	}
+	var baseline float64
+	n := 0
+	for i, t := range ticks {
+		if sim.Duration(t) < firstAt {
+			baseline += vals[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return false, fmt.Sprintf("no ticks before the first event at t=%v (shrink snapshot_every below it)", firstAt)
+	}
+	baseline /= float64(n)
+	// Walk backwards: conv is the earliest tick at/after the last event
+	// from which the series never leaves the tolerance band again.
+	conv := -1
+	for i := len(ticks) - 1; i >= 0; i-- {
+		v := vals[i] - baseline
+		if v < -a.Tolerance || v > a.Tolerance {
+			break
+		}
+		if sim.Duration(ticks[i]) >= lastAt {
+			conv = i
+		}
+	}
+	if conv < 0 {
+		return false, fmt.Sprintf("series %q never re-entered baseline %.6g ±%g after the last event (t=%v)",
+			a.Series, baseline, a.Tolerance, lastAt)
+	}
+	took := sim.Duration(ticks[conv]) - lastAt
+	ok := took <= a.Within
+	return ok, fmt.Sprintf("series %q back to baseline %.6g ±%g in %v after the last event (t=%v), deadline %v",
+		a.Series, baseline, a.Tolerance, took, lastAt, a.Within)
+}
+
+// checkWindowMax verifies a ceiling on the named series over the virtual
+// window [from, to] (to=0 runs to the end of the recording).
+func (s *Scenario) checkWindowMax(st *runState, a Assertion) (bool, string) {
+	ticks, vals, detail := timelineSeries(st, a.Series)
+	if detail != "" {
+		return false, detail
+	}
+	to := a.To
+	if to == 0 && len(ticks) > 0 {
+		to = sim.Duration(ticks[len(ticks)-1])
+	}
+	worst, n := 0.0, 0
+	for i, t := range ticks {
+		if sim.Duration(t) < a.From || sim.Duration(t) > to {
+			continue
+		}
+		if n == 0 || vals[i] > worst {
+			worst = vals[i]
+		}
+		n++
+	}
+	if n == 0 {
+		return false, fmt.Sprintf("series %q has no ticks in [%v, %v] (snapshot_every too coarse?)",
+			a.Series, a.From, to)
+	}
+	ok := worst <= a.MaxValue
+	return ok, fmt.Sprintf("series %q max %.6g over [%v, %v] (%d ticks), ceiling %g",
+		a.Series, worst, a.From, to, n, a.MaxValue)
 }
 
 // checkByteIdentity re-executes the scenario (fresh deployments, same

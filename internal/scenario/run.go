@@ -35,6 +35,9 @@ type Overrides struct {
 	Record     *string
 	TraceDump  *string
 	Replay     *string
+
+	SnapshotEvery *sim.Duration
+	SeriesOut     *string
 }
 
 // Apply returns a copy of s with the overrides layered on top.
@@ -86,6 +89,12 @@ func (s *Scenario) Apply(ov Overrides) *Scenario {
 	}
 	if ov.Replay != nil {
 		out.Workload.Replay = *ov.Replay
+	}
+	if ov.SnapshotEvery != nil {
+		out.Observability.SnapshotEvery = *ov.SnapshotEvery
+	}
+	if ov.SeriesOut != nil {
+		out.Observability.SeriesOut = *ov.SeriesOut
 	}
 	return &out
 }
@@ -178,11 +187,12 @@ func (s *Scenario) exec(shards int, record bool, replayOf *trace.Trace) (*runSta
 	ncfg.FlowBackend = f.Backend
 	ncfg.Burst = f.Burst
 	cl, err := cluster.New(cluster.Config{
-		Nodes:  f.Nodes,
-		Seed:   s.Seed,
-		Node:   ncfg,
-		Faults: s.FaultPlan(),
-		Shards: shards,
+		Nodes:         f.Nodes,
+		Seed:          s.Seed,
+		Node:          ncfg,
+		Faults:        s.FaultPlan(),
+		Shards:        shards,
+		SnapshotEvery: s.Observability.SnapshotEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -417,6 +427,14 @@ func (s *Scenario) renderReport(st *runState, res *Result) string {
 		m.rxLost, m.faultLost, m.crashDrops, m.redirected)
 	fmt.Fprintf(&b, "  latency     worst-node p50=%.1fµs p99=%.1fµs\n",
 		float64(m.latP50)/1000, float64(m.latP99)/1000)
+	// The series fingerprint in the report puts the full timeline under
+	// the gameday stdout repeat-cmp: any sampling nondeterminism fails the
+	// gate even in scenarios without an identity assertion.
+	if tl := st.cl.Timeline(); tl != nil {
+		sum, n := tl.Checksum()
+		fmt.Fprintf(&b, "  series      every=%v ticks=%d fnv64a=%#016x bytes=%d\n",
+			tl.Every(), tl.Len(), sum, n)
+	}
 	for _, c := range res.Checks {
 		verdict := "PASS"
 		if !c.OK {
@@ -465,6 +483,22 @@ func (s *Scenario) writeArtifacts(st *runState) error {
 	}
 	if o.TraceDump != "" {
 		if err := dumpJourneys(o.TraceDump, st.cl); err != nil {
+			return err
+		}
+	}
+	if o.SeriesOut != "" {
+		tl := st.cl.Timeline()
+		if tl == nil {
+			return fmt.Errorf("scenario %s: series_out set but no timeline was sampled", s.Name)
+		}
+		if err := os.WriteFile(o.SeriesOut+".csv", []byte(tl.CSV()), 0o644); err != nil {
+			return err
+		}
+		j, err := tl.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.SeriesOut+".json", j, 0o644); err != nil {
 			return err
 		}
 	}

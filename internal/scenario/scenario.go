@@ -177,13 +177,20 @@ type Observability struct {
 	// TraceDump writes committed flight-recorder journeys to
 	// PREFIX.journeys.json.
 	TraceDump string
+	// SnapshotEvery samples the telemetry timeline every this much virtual
+	// time (0 = sampling off). Ticks align to epoch boundaries under the
+	// sharded engine, so the series are byte-identical at any shard count.
+	SnapshotEvery sim.Duration
+	// SeriesOut writes the sampled timeline to PREFIX.csv and PREFIX.json
+	// (requires snapshot_every).
+	SeriesOut string
 }
 
 // Assertion is one declarative postcondition, checked after the run.
 type Assertion struct {
 	// Type selects the check: conservation, zero_loss, max_loss,
 	// remap_bound, detection_window, latency, min_tx, expected_table,
-	// byte_identity, replay_identity.
+	// byte_identity, replay_identity, converge, window_max.
 	Type string
 	// Fraction is the loss ceiling for max_loss (of sprayed packets).
 	Fraction float64
@@ -208,6 +215,20 @@ type Assertion struct {
 	// MaxMoved is expected_table's per-cluster ceiling on flows the
 	// backend remapped across pool updates (-1 = no ceiling).
 	MaxMoved int
+	// Series names the timeline column converge/window_max read (e.g.
+	// "availability" or "albatross_cluster_eligible_members").
+	Series string
+	// Within is converge's deadline: the series must return to its
+	// pre-fault baseline within this much virtual time of the last event.
+	Within sim.Duration
+	// Tolerance is converge's acceptance band around the baseline
+	// (absolute; default 0.05).
+	Tolerance float64
+	// From and To bound window_max's virtual-time window (To 0 = run end).
+	From sim.Duration
+	To   sim.Duration
+	// MaxValue is window_max's ceiling on the series over the window.
+	MaxValue float64
 	// Line is the source line (0 for programmatic scenarios).
 	Line int
 }
@@ -538,6 +559,8 @@ func decodeObservability(n *ynode, o *Observability) error {
 	d.str("outcome_out", &o.OutcomeOut)
 	d.str("record", &o.Record)
 	d.str("trace_dump", &o.TraceDump)
+	d.dur("snapshot_every", &o.SnapshotEvery)
+	d.str("series_out", &o.SeriesOut)
 	return d.finish()
 }
 
@@ -716,9 +739,31 @@ func decodeAssertion(n *ynode) (Assertion, error) {
 				a.Shards = append(a.Shards, k)
 			}
 		}
+	case "converge":
+		a.Tolerance = 0.05
+		d.str("series", &a.Series)
+		d.dur("within", &a.Within)
+		d.float("tolerance", &a.Tolerance)
+		if d.err == nil && n.get("series") == nil {
+			return Assertion{}, yamlErr(n.line, "assertion: converge needs a \"series\" column key")
+		}
+		if d.err == nil && n.get("within") == nil {
+			return Assertion{}, yamlErr(n.line, "assertion: converge needs a \"within\" deadline")
+		}
+	case "window_max":
+		d.str("series", &a.Series)
+		d.dur("from", &a.From)
+		d.dur("to", &a.To)
+		d.float("max_value", &a.MaxValue)
+		if d.err == nil && n.get("series") == nil {
+			return Assertion{}, yamlErr(n.line, "assertion: window_max needs a \"series\" column key")
+		}
+		if d.err == nil && n.get("max_value") == nil {
+			return Assertion{}, yamlErr(n.line, "assertion: window_max needs a \"max_value\" ceiling")
+		}
 	default:
 		return Assertion{}, yamlErr(n.get("type").line,
-			"assertion: unknown type %q (want conservation|zero_loss|max_loss|remap_bound|detection_window|latency|min_tx|expected_table|byte_identity|replay_identity)", a.Type)
+			"assertion: unknown type %q (want conservation|zero_loss|max_loss|remap_bound|detection_window|latency|min_tx|expected_table|byte_identity|replay_identity|converge|window_max)", a.Type)
 	}
 	if err := d.finish(); err != nil {
 		return Assertion{}, err
@@ -779,6 +824,12 @@ func (s *Scenario) Validate() error {
 	}
 	if w.Zipf < 0 {
 		return bad(0, "%s: workload.zipf must be >= 0", s.Name)
+	}
+	if s.Observability.SnapshotEvery < 0 {
+		return bad(0, "%s: observability.snapshot_every must be >= 0", s.Name)
+	}
+	if s.Observability.SeriesOut != "" && s.Observability.SnapshotEvery <= 0 {
+		return bad(0, "%s: observability.series_out requires snapshot_every", s.Name)
 	}
 	if w.ACLDenied < 0 || w.ACLDenied > 1 {
 		return bad(0, "%s: workload.acl_denied must be in [0,1]", s.Name)
@@ -848,6 +899,32 @@ func (s *Scenario) Validate() error {
 				if k < 0 {
 					return bad(a.Line, "%s: assertion %d: byte_identity shard counts must be >= 0", s.Name, i)
 				}
+			}
+		case "converge":
+			if s.Observability.SnapshotEvery <= 0 {
+				return bad(a.Line, "%s: assertion %d: converge requires observability.snapshot_every", s.Name, i)
+			}
+			if a.Series == "" {
+				return bad(a.Line, "%s: assertion %d: converge series must be non-empty", s.Name, i)
+			}
+			if a.Within <= 0 {
+				return bad(a.Line, "%s: assertion %d: converge within must be positive", s.Name, i)
+			}
+			if a.Tolerance <= 0 {
+				return bad(a.Line, "%s: assertion %d: converge tolerance must be positive", s.Name, i)
+			}
+			if len(s.Events) == 0 {
+				return bad(a.Line, "%s: assertion %d: converge needs at least one event to recover from", s.Name, i)
+			}
+		case "window_max":
+			if s.Observability.SnapshotEvery <= 0 {
+				return bad(a.Line, "%s: assertion %d: window_max requires observability.snapshot_every", s.Name, i)
+			}
+			if a.Series == "" {
+				return bad(a.Line, "%s: assertion %d: window_max series must be non-empty", s.Name, i)
+			}
+			if a.From < 0 || (a.To != 0 && a.To <= a.From) {
+				return bad(a.Line, "%s: assertion %d: window_max window [from,to] is empty", s.Name, i)
 			}
 		case "conservation", "zero_loss", "replay_identity":
 			// No parameters to validate.

@@ -219,6 +219,73 @@ func (h *Histogram) FractionBetween(lo, hi int64) float64 {
 	return h.FractionAbove(lo) - h.FractionAbove(hi)
 }
 
+// NumBuckets returns the length of the histogram's bucket array — the
+// size a BucketSnapshot destination must have.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// BucketSnapshot copies the histogram's raw bucket counts into dst,
+// growing it if needed, and returns the slice. A snapshot taken before a
+// batch of Records and passed to DeltaCount/DeltaQuantile later yields
+// statistics over exactly the samples recorded in between — the
+// primitive behind per-tick timeline quantiles.
+func (h *Histogram) BucketSnapshot(dst []uint64) []uint64 {
+	if cap(dst) < len(h.buckets) {
+		dst = make([]uint64, len(h.buckets))
+	}
+	dst = dst[:len(h.buckets)]
+	copy(dst, h.buckets)
+	return dst
+}
+
+// DeltaCount returns the number of samples recorded since prev, a bucket
+// snapshot of this histogram taken earlier with BucketSnapshot.
+func (h *Histogram) DeltaCount(prev []uint64) uint64 {
+	if len(prev) != len(h.buckets) {
+		panic(fmt.Sprintf("stats: bucket snapshot length %d != %d", len(prev), len(h.buckets)))
+	}
+	var total uint64
+	for i, c := range h.buckets {
+		total += c - prev[i]
+	}
+	return total
+}
+
+// DeltaQuantile estimates the q-quantile over the samples recorded since
+// prev (an earlier BucketSnapshot of this histogram). It returns 0 when no
+// samples were recorded in between. Values carry the histogram's bucket
+// resolution; unlike Quantile there is no min/max clamp, because the delta
+// window's extremes are not tracked.
+func (h *Histogram) DeltaQuantile(q float64, prev []uint64) int64 {
+	if len(prev) != len(h.buckets) {
+		panic(fmt.Sprintf("stats: bucket snapshot length %d != %d", len(prev), len(h.buckets)))
+	}
+	var total uint64
+	for i, c := range h.buckets {
+		total += c - prev[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c - prev[i]
+		if cum >= target {
+			return h.lowerBound(i)
+		}
+	}
+	return h.lowerBound(len(h.buckets) - 1)
+}
+
 // Merge adds all samples of other into h. Histograms must share subBits.
 func (h *Histogram) Merge(other *Histogram) {
 	if h.subBits != other.subBits {

@@ -368,3 +368,63 @@ func BenchmarkHistogramQuantile(b *testing.B) {
 		_ = h.Quantile(0.99)
 	}
 }
+
+func TestHistogramBucketSnapshotDeltas(t *testing.T) {
+	h := NewHistogram(5)
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 1000)
+	}
+	prev := h.BucketSnapshot(nil)
+	if len(prev) != h.NumBuckets() {
+		t.Fatalf("snapshot len %d != NumBuckets %d", len(prev), h.NumBuckets())
+	}
+	if got := h.DeltaCount(prev); got != 0 {
+		t.Fatalf("delta count right after snapshot = %d, want 0", got)
+	}
+	if got := h.DeltaQuantile(0.99, prev); got != 0 {
+		t.Fatalf("delta quantile over empty window = %d, want 0", got)
+	}
+	// Record a new batch whose values are far from the first batch: the
+	// delta quantile must reflect only the new batch.
+	for i := 0; i < 50; i++ {
+		h.Record(1_000_000)
+	}
+	if got := h.DeltaCount(prev); got != 50 {
+		t.Fatalf("delta count = %d, want 50", got)
+	}
+	q := h.DeltaQuantile(0.5, prev)
+	if q < 900_000 || q > 1_100_000 {
+		t.Fatalf("delta p50 = %d, want ~1e6 (old samples must not leak in)", q)
+	}
+	// The full-histogram quantile still sees both batches.
+	if full := h.Quantile(0.5); full >= 900_000 {
+		t.Fatalf("full p50 = %d, want < 900000 (dominated by first batch)", full)
+	}
+	// Reusing the destination slice must not allocate a fresh one.
+	prev2 := h.BucketSnapshot(prev)
+	if &prev2[0] != &prev[0] {
+		t.Fatal("BucketSnapshot did not reuse the destination slice")
+	}
+	if got := h.DeltaCount(prev2); got != 0 {
+		t.Fatalf("delta count after re-snapshot = %d, want 0", got)
+	}
+}
+
+func TestHistogramDeltaLengthMismatchPanics(t *testing.T) {
+	h := NewHistogram(5)
+	h.Record(1)
+	bad := make([]uint64, 3)
+	for name, f := range map[string]func(){
+		"DeltaCount":    func() { h.DeltaCount(bad) },
+		"DeltaQuantile": func() { h.DeltaQuantile(0.5, bad) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with mismatched snapshot did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -42,6 +42,9 @@ type Config struct {
 	// (min(GOMAXPROCS, Nodes)), 1 = single shared engine, k > 1 = k shard
 	// engines. Outcomes are byte-identical at any shard count.
 	Shards int
+	// SnapshotEvery samples a telemetry timeline every this much virtual
+	// time on NewCluster deployments (0 = off). See WithSnapshotEvery.
+	SnapshotEvery Duration
 }
 
 // Option configures a deployment built with New or NewCluster. Options
@@ -93,6 +96,18 @@ func WithShards(n int) Option {
 	return func(c *Config) { c.Shards = n }
 }
 
+// WithSnapshotEvery enables the virtual-time telemetry timeline on a
+// NewCluster deployment: every d of virtual time the cluster-level series
+// (availability, eligible members, per-tick switch-plane counter deltas)
+// are sampled into Cluster.Timeline(). Sampling rides
+// RunFor's control clock — tick boundaries are epoch barriers under the
+// sharded engine — so the recorded series are byte-identical at any shard
+// count and burst size, and the packet hot path is untouched. d = 0 (the
+// default) disables sampling.
+func WithSnapshotEvery(d Duration) Option {
+	return func(c *Config) { c.SnapshotEvery = d }
+}
+
 // WithFlowBackend selects the node-level flow-table backend steering
 // Node.Ingress (and cluster member ingress) across pods: "session" keeps a
 // per-flow session table, "othello" is the Concury-style stateless
@@ -141,11 +156,12 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	plan := cfg.Node.Faults
 	cfg.Node.Faults = nil
 	return cluster.New(cluster.Config{
-		Nodes:  cfg.Nodes,
-		Seed:   cfg.Node.Seed,
-		Node:   cfg.Node,
-		Faults: plan,
-		Shards: cfg.Shards,
+		Nodes:         cfg.Nodes,
+		Seed:          cfg.Node.Seed,
+		Node:          cfg.Node,
+		Faults:        plan,
+		Shards:        cfg.Shards,
+		SnapshotEvery: cfg.SnapshotEvery,
 	})
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fmt-check metrics-check replay-check fleet-check gameday concury-check series-check ci clean
+.PHONY: all build test vet race bench fmt-check metrics-check replay-check fleet-check gameday concury-check series-check reconcile-check ci clean
 
 all: build test
 
@@ -11,7 +11,7 @@ fmt-check:
 
 # The full gate: build, vet, formatting, unit tests, then the race-checked
 # packages. Runs staticcheck too when it is installed.
-ci: build vet fmt-check test race metrics-check replay-check fleet-check gameday concury-check series-check
+ci: build vet fmt-check test race metrics-check replay-check fleet-check gameday concury-check series-check reconcile-check
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; staticcheck ./...; \
 	else echo "staticcheck not installed; skipping"; fi
@@ -32,7 +32,7 @@ vet:
 # The race detector slows the eval experiments ~10x, so the default 10m
 # per-package test timeout is not enough headroom.
 race:
-	$(GO) test -race -timeout 30m ./internal/sim/ ./internal/eval/ ./internal/flowtable/ ./internal/cluster/ ./internal/core/ ./internal/workload/trace/ ./internal/scenario/ ./internal/metrics/
+	$(GO) test -race -timeout 30m ./internal/sim/ ./internal/eval/ ./internal/flowtable/ ./internal/cluster/ ./internal/core/ ./internal/workload/trace/ ./internal/scenario/ ./internal/metrics/ ./internal/controlplane/ ./internal/bgp/
 
 # Runs the packet-path microbenchmarks (single node and the 3-node /
 # 8-node / sharded cluster variants) and records ns/op, B/op and allocs/op
@@ -128,6 +128,26 @@ concury-check:
 	@$(GO) run ./cmd/albatross-bench -exp concury -quick >/dev/null || \
 		{ echo "concury-check: experiment checks failed (run: go run ./cmd/albatross-bench -exp concury -quick)"; exit 1; }
 	@echo "concury-check: othello/session backend checks passed"
+
+# Control-plane gate: the reconcile drills run through the dedicated
+# `reconcile` subcommand — the desired-state reconciler sequences every
+# canary weight shift, rolling drain, and fleet reshape over real eBGP
+# proxy sessions, and each scenario's own assertions demand zero loss,
+# convergence within one snapshot tick, and byte identity across shard
+# counts (and record<->replay where declared). A -plan dry run smokes the
+# diff path too.
+reconcile-check: build
+	@tmp=$$(mktemp -d); rc=0; \
+	$(GO) build -o $$tmp/asim ./cmd/albatross-sim; \
+	for f in scenarios/reconcile-canary.yaml scenarios/reconcile-drain.yaml scenarios/reconcile-scale.yaml; do \
+		timeout 240 $$tmp/asim reconcile $$f > $$tmp/out 2>/dev/null \
+			|| { echo "reconcile-check: $$f FAILED"; rc=1; continue; }; \
+		tail -1 $$tmp/out; \
+	done; \
+	$$tmp/asim reconcile -plan scenarios/reconcile-canary.yaml >/dev/null || rc=1; \
+	rm -rf $$tmp; \
+	if [ $$rc -ne 0 ]; then echo "reconcile-check: control-plane gate failed"; exit 1; fi; \
+	echo "reconcile-check: reconcile drills converged loss-free"
 
 # Timeline determinism gate: the convergence drill's sampled series must
 # export byte-for-byte identical CSV and JSON across a repeat run, across

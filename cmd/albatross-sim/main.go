@@ -6,6 +6,7 @@
 //	albatross-sim run scenarios/node-crash.yaml
 //	albatross-sim validate scenarios/*.yaml
 //	albatross-sim replay-diff outcome-a.txt outcome-b.txt
+//	albatross-sim reconcile scenarios/reconcile-canary.yaml
 //
 // A scenario file declares the fleet, workload, timed fault script, and an
 // assertions block; `run` executes it and exits non-zero when an assertion
@@ -47,6 +48,9 @@ func main() {
 		case "replay-diff":
 			replayDiffSubCmd(os.Args[2:])
 			return
+		case "reconcile":
+			reconcileCmd(os.Args[2:])
+			return
 		case "help", "--help":
 			printTopUsage(os.Stdout)
 			fmt.Fprintln(os.Stdout, "\nLegacy flat-flag mode (no subcommand):")
@@ -66,6 +70,7 @@ func printTopUsage(w *os.File) {
   albatross-sim run [overrides] scenario.yaml     execute a declarative gameday scenario
   albatross-sim validate scenario.yaml...         load-check scenarios without running them
   albatross-sim replay-diff [-shards N] A B       compare two outcome reports (exit 1 on diff)
+  albatross-sim reconcile [-plan] scenario.yaml   run (or -plan: dry-run) a desired-state reconcile drill
   albatross-sim [flags]                           legacy flat-flag single run
 
 Each legacy flag's help names the scenario field it maps to, e.g.

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"albatross"
+)
+
+// reconcileCmd implements `albatross-sim reconcile`: the control-plane
+// runner. Two modes:
+//
+//	albatross-sim reconcile scenario.yaml
+//	    Execute a scenario whose fleet is driven by the desired-state
+//	    reconciler (the file's spec: block, or -spec FILE). Prints the
+//	    deterministic report — including the timed reconcile step log —
+//	    and exits 1 when any assertion fails or the reconciler did not
+//	    converge cleanly.
+//
+//	albatross-sim reconcile -plan -spec spec.yaml -nodes 3
+//	    Dry run: diff the desired state against a freshly deployed fleet
+//	    of N members and print the unsequenced plan without running any
+//	    traffic. Also works with a scenario file in place of -nodes.
+func reconcileCmd(args []string) {
+	fs := flag.NewFlagSet("reconcile", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: albatross-sim reconcile [-plan] [-spec FILE] [scenario.yaml]")
+		fmt.Fprintln(os.Stderr, "       albatross-sim reconcile -plan -spec FILE -nodes N")
+		fmt.Fprintln(os.Stderr)
+		fs.PrintDefaults()
+	}
+	var (
+		specPath = fs.String("spec", "", "standalone desired-state file; replaces the scenario's spec: block")
+		plan     = fs.Bool("plan", false, "dry run: print the reconcile plan against a fresh fleet, don't run traffic")
+		nodes    = fs.Int("nodes", 0, "fleet width for -plan without a scenario file")
+		seed     = fs.Uint64("seed", 1, "simulation seed for -plan without a scenario file")
+	)
+	fs.Parse(args)
+	if fs.NArg() > 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	var s *albatross.Scenario
+	if fs.NArg() == 1 {
+		var err error
+		s, err = albatross.LoadScenarioFile(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var spec *albatross.ReconcileSpec
+	if *specPath != "" {
+		var err error
+		spec, err = albatross.LoadSpecFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if s != nil {
+		if spec != nil {
+			s.Spec = spec
+			if err := s.Validate(); err != nil {
+				fatal(fmt.Errorf("%s with -spec %s: %w", fs.Arg(0), *specPath, err))
+			}
+		}
+		if s.Spec == nil {
+			fatal(fmt.Errorf("%s has no spec: block; add one or pass -spec FILE", fs.Arg(0)))
+		}
+	}
+
+	if *plan {
+		width := *nodes
+		sd := *seed
+		if s != nil {
+			width, sd = s.Fleet.Nodes, s.Seed
+			spec = s.Spec
+		}
+		if spec == nil || width <= 0 {
+			fmt.Fprintln(os.Stderr, "reconcile -plan needs a scenario file, or -spec FILE with -nodes N")
+			os.Exit(2)
+		}
+		printPlan(spec, width, sd)
+		return
+	}
+
+	if s == nil {
+		fs.Usage()
+		os.Exit(2)
+	}
+	wall := time.Now()
+	res, err := s.Run()
+	if err != nil {
+		fatal(err)
+	}
+	// The report is the entire stdout: byte-identical across repeat runs
+	// and shard counts. Wall time goes to stderr.
+	fmt.Print(res.Report)
+	fmt.Fprintf(os.Stderr, "  wall time   %v\n", time.Since(wall).Round(time.Millisecond))
+	if !res.OK() {
+		os.Exit(1)
+	}
+}
+
+// printPlan deploys a bare fleet of width members, attaches the reconciler,
+// and prints the unsequenced diff. Nothing runs: the plan is the
+// desired-vs-fresh delta, in member order, before any rate limiting.
+func printPlan(spec *albatross.ReconcileSpec, width int, seed uint64) {
+	c, err := albatross.NewCluster(
+		albatross.WithNodes(width),
+		albatross.WithSeed(seed),
+		albatross.WithSpec(spec),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	r, ok := c.Controller().(*albatross.Reconciler)
+	if !ok {
+		fatal(fmt.Errorf("internal: cluster controller is not a reconciler"))
+	}
+	steps := r.Plan()
+	fmt.Printf("reconcile plan: %d member(s) observed, %d desired, interval %v\n",
+		width, len(spec.Members), r.Interval())
+	if len(steps) == 0 {
+		fmt.Println("  in sync: no steps")
+		return
+	}
+	for _, st := range steps {
+		line := fmt.Sprintf("node=%d %s", st.Node, st.Action)
+		if st.Detail != "" {
+			line += " " + st.Detail
+		}
+		fmt.Printf("  %s\n", line)
+	}
+	fmt.Printf("  %d step(s); at one step per tick the fleet converges in ~%v\n",
+		len(steps), albatross.Duration(len(steps))*r.Interval())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+package albatross
+
+import (
+	"albatross/internal/controlplane"
+	"albatross/internal/scenario"
+)
+
+// Control-plane types (see DESIGN.md §15). A ClusterSpec declares the
+// desired fleet state — one MemberSpec per member slot — and a Reconciler
+// diffs it against the observed cluster every virtual-time tick, emitting
+// a deterministic, rate-limited train of make-before-break steps (drain
+// before remove, add then shift canary weight, one-pod-at-a-time scaling)
+// through the cluster's lifecycle APIs.
+type (
+	// ClusterSpec is the desired state of a cluster: one entry per member
+	// slot, in slot order.
+	ClusterSpec = controlplane.ClusterSpec
+	// MemberSpec is the desired state of one member slot (ECMP weight,
+	// pod count, admin state, flow-table backend).
+	MemberSpec = controlplane.MemberSpec
+	// Reconciler drives a Cluster toward a ClusterSpec, one rate-limited
+	// step per tick.
+	Reconciler = controlplane.Reconciler
+	// ReconcilerConfig sets the reconcile tick interval and per-tick step
+	// budget.
+	ReconcilerConfig = controlplane.Config
+	// ReconcileStep is one applied (or planned) reconcile action.
+	ReconcileStep = controlplane.Step
+	// ReconcileSpec is the scenario-file form of a ClusterSpec plus
+	// reconciler tuning; it loads from the same strict YAML subset as
+	// scenarios (LoadSpec / LoadSpecFile, or a scenario's spec: block).
+	ReconcileSpec = scenario.ReconcileSpec
+)
+
+// Member admin states (MemberSpec.Admin).
+const (
+	// AdminUp serves traffic (the default for an empty Admin).
+	AdminUp = controlplane.AdminUp
+	// AdminDrained withdraws the member's route but keeps it warm.
+	AdminDrained = controlplane.AdminDrained
+	// AdminRemoved retires the member slot permanently (terminal; the
+	// reconciler drains first and removes only after a full-tick soak).
+	AdminRemoved = controlplane.AdminRemoved
+)
+
+// NewReconciler attaches a desired-state reconciler to a cluster and arms
+// its tick loop on the cluster engine. The spec must cover every existing
+// member. The reconciler registers itself as the cluster's controller.
+func NewReconciler(c *Cluster, spec ClusterSpec, cfg ReconcilerConfig) (*Reconciler, error) {
+	return controlplane.NewReconciler(c, spec, cfg)
+}
+
+// LoadSpec parses and validates a standalone desired-state document (a
+// spec: block at top level). Every parse or schema error wraps
+// ErrBadConfig and names the offending line.
+func LoadSpec(data []byte) (*ReconcileSpec, error) { return scenario.LoadSpec(data) }
+
+// LoadSpecFile reads, parses, and validates a desired-state file.
+func LoadSpecFile(path string) (*ReconcileSpec, error) { return scenario.LoadSpecFile(path) }

@@ -1,88 +1,10 @@
 package bgp
 
-import (
-	"errors"
-	"io"
-	"net"
-	"sync"
-	"time"
-)
+import "net"
 
-// bufConn is an in-memory, *buffered* duplex connection for tests.
-// net.Pipe is synchronous (a Write blocks until the peer Reads), which
-// deadlocks BGP's simultaneous OPEN exchange; real TCP sockets buffer.
-type bufConn struct {
-	rd *bufHalf
-	wr *bufHalf
-}
-
-type bufHalf struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []byte
-	closed bool
-}
-
-func newBufHalf() *bufHalf {
-	h := &bufHalf{}
-	h.cond = sync.NewCond(&h.mu)
-	return h
-}
-
-func (h *bufHalf) write(p []byte) (int, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return 0, errors.New("bufconn: closed")
-	}
-	h.buf = append(h.buf, p...)
-	h.cond.Broadcast()
-	return len(p), nil
-}
-
-func (h *bufHalf) read(p []byte) (int, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for len(h.buf) == 0 && !h.closed {
-		h.cond.Wait()
-	}
-	if len(h.buf) == 0 {
-		return 0, io.EOF
-	}
-	n := copy(p, h.buf)
-	h.buf = h.buf[n:]
-	return n, nil
-}
-
-func (h *bufHalf) close() {
-	h.mu.Lock()
-	h.closed = true
-	h.cond.Broadcast()
-	h.mu.Unlock()
-}
-
-// newBufConnPair returns two connected endpoints.
+// newBufConnPair returns two connected buffered endpoints. Kept as a thin
+// alias over the exported MemConn so older tests read naturally.
 func newBufConnPair() (net.Conn, net.Conn) {
-	a2b := newBufHalf()
-	b2a := newBufHalf()
-	return &bufConn{rd: b2a, wr: a2b}, &bufConn{rd: a2b, wr: b2a}
+	a, b := NewMemPipe()
+	return a, b
 }
-
-func (c *bufConn) Read(p []byte) (int, error)  { return c.rd.read(p) }
-func (c *bufConn) Write(p []byte) (int, error) { return c.wr.write(p) }
-func (c *bufConn) Close() error {
-	c.rd.close()
-	c.wr.close()
-	return nil
-}
-
-type bufAddr struct{}
-
-func (bufAddr) Network() string { return "buf" }
-func (bufAddr) String() string  { return "buf" }
-
-func (c *bufConn) LocalAddr() net.Addr                { return bufAddr{} }
-func (c *bufConn) RemoteAddr() net.Addr               { return bufAddr{} }
-func (c *bufConn) SetDeadline(t time.Time) error      { return nil }
-func (c *bufConn) SetReadDeadline(t time.Time) error  { return nil }
-func (c *bufConn) SetWriteDeadline(t time.Time) error { return nil }

@@ -17,6 +17,7 @@ import (
 type Proxy struct {
 	as       uint16
 	routerID uint32
+	manual   bool
 	upstream *Speaker
 
 	mu   sync.Mutex
@@ -29,23 +30,41 @@ type Proxy struct {
 	Withdrawn uint64
 }
 
+// ProxyConfig parameterizes a proxy pod.
+type ProxyConfig struct {
+	LocalAS  uint16
+	SwitchAS uint16
+	RouterID uint32
+	// Manual propagates to every session the proxy owns (upstream and pod
+	// sessions): no background goroutines; the owner pumps and emits
+	// keepalives on its own clock. See SpeakerConfig.Manual.
+	Manual bool
+}
+
 // NewProxy creates a proxy speaking iBGP to pods as AS `localAS` and eBGP
 // to the switch over upstreamConn (whose peer must be `switchAS`). The
 // upstream session is established before returning.
 func NewProxy(upstreamConn net.Conn, localAS, switchAS uint16, routerID uint32) (*Proxy, error) {
-	if localAS == switchAS {
-		return nil, fmt.Errorf("bgp: proxy-switch session must be eBGP (AS %d == %d)", localAS, switchAS)
+	return NewProxyConfig(upstreamConn, ProxyConfig{LocalAS: localAS, SwitchAS: switchAS, RouterID: routerID})
+}
+
+// NewProxyConfig is NewProxy with the full configuration surface.
+func NewProxyConfig(upstreamConn net.Conn, cfg ProxyConfig) (*Proxy, error) {
+	if cfg.LocalAS == cfg.SwitchAS {
+		return nil, fmt.Errorf("bgp: proxy-switch session must be eBGP (AS %d == %d)", cfg.LocalAS, cfg.SwitchAS)
 	}
 	p := &Proxy{
-		as:       localAS,
-		routerID: routerID,
+		as:       cfg.LocalAS,
+		routerID: cfg.RouterID,
+		manual:   cfg.Manual,
 		refs:     make(map[Prefix]int),
 		pods:     make(map[*Speaker]bool),
 	}
 	p.upstream = NewSpeaker(upstreamConn, SpeakerConfig{
-		AS:       localAS,
-		RouterID: routerID,
-		PeerAS:   switchAS,
+		AS:       cfg.LocalAS,
+		RouterID: cfg.RouterID,
+		PeerAS:   cfg.SwitchAS,
+		Manual:   cfg.Manual,
 	})
 	if err := p.upstream.Start(); err != nil {
 		return nil, fmt.Errorf("bgp: proxy upstream session: %w", err)
@@ -85,6 +104,7 @@ func (p *Proxy) ServePod(conn net.Conn) (*Speaker, error) {
 		AS:       p.as,
 		RouterID: p.routerID,
 		PeerAS:   p.as, // iBGP
+		Manual:   p.manual,
 		OnRoute: func(prefix Prefix, attrs PathAttrs, withdrawn bool) {
 			if withdrawn {
 				p.release(prefix)

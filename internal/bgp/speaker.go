@@ -61,6 +61,15 @@ type SpeakerConfig struct {
 	OnEstablished func()
 	// OnDown fires when the session leaves Established (error or close).
 	OnDown func(err error)
+
+	// Manual disables the background read and keepalive goroutines: Start
+	// performs only the handshake, and the owner drives the session
+	// synchronously — Pump drains buffered inbound messages, SendKeepalive
+	// emits keepalives on whatever clock the owner runs (the virtual-time
+	// fabric uses the event engine). Manual sessions have no wall-clock hold
+	// timer; liveness is the owner's responsibility. Pump requires a
+	// transport that reports buffered bytes (MemConn).
+	Manual bool
 }
 
 // Speaker is one endpoint of a BGP session.
@@ -94,10 +103,17 @@ func NewSpeaker(conn net.Conn, cfg SpeakerConfig) *Speaker {
 	if cfg.NextHop == (packet.IPv4Addr{}) {
 		cfg.NextHop = packet.IPv4FromUint32(0x0a000000 | cfg.RouterID&0xffffff)
 	}
+	// In-memory transports carry a handful of small control messages per
+	// session; at cluster scale (four speakers per member, thousands of
+	// members) a 64 KB reader per speaker is pure waste.
+	bufSize := 1 << 16
+	if _, ok := conn.(*MemConn); ok {
+		bufSize = 1 << 12
+	}
 	return &Speaker{
 		cfg:   cfg,
 		conn:  conn,
-		br:    bufio.NewReaderSize(conn, 1<<16),
+		br:    bufio.NewReaderSize(conn, bufSize),
 		state: StateIdle,
 		adjIn: NewRIB(),
 		stop:  make(chan struct{}),
@@ -225,16 +241,46 @@ func (s *Speaker) Handshake() error {
 	return nil
 }
 
-// Start runs the handshake and then the read/keepalive loops in the
-// background. It returns once the session is Established (or failed).
+// Start runs the handshake and then — unless the speaker is Manual — the
+// read/keepalive loops in the background. It returns once the session is
+// Established (or failed).
 func (s *Speaker) Start() error {
 	if err := s.Handshake(); err != nil {
 		s.teardown(err)
 		return err
 	}
+	if s.cfg.Manual {
+		return nil
+	}
 	s.wg.Add(2)
 	go s.readLoop()
 	go s.keepaliveLoop()
+	return nil
+}
+
+// dispatch handles one received message in the established state. It
+// returns a non-nil error (after tearing the session down) when the message
+// ends the session.
+func (s *Speaker) dispatch(msgType uint8, body []byte) error {
+	switch msgType {
+	case MsgKeepalive:
+		// lastRecv already refreshed.
+	case MsgUpdate:
+		u, err := DecodeUpdate(body)
+		if err != nil {
+			s.teardown(err)
+			return err
+		}
+		s.applyUpdate(u)
+	case MsgNotification:
+		n, _ := DecodeNotification(body)
+		s.teardown(n)
+		return n
+	case MsgOpen:
+		err := fmt.Errorf("bgp: unexpected OPEN in established state")
+		s.teardown(err)
+		return err
+	}
 	return nil
 }
 
@@ -246,25 +292,49 @@ func (s *Speaker) readLoop() {
 			s.teardown(err)
 			return
 		}
-		switch msgType {
-		case MsgKeepalive:
-			// lastRecv already refreshed.
-		case MsgUpdate:
-			u, err := DecodeUpdate(body)
-			if err != nil {
-				s.teardown(err)
-				return
-			}
-			s.applyUpdate(u)
-		case MsgNotification:
-			n, _ := DecodeNotification(body)
-			s.teardown(n)
-			return
-		case MsgOpen:
-			s.teardown(fmt.Errorf("bgp: unexpected OPEN in established state"))
+		if s.dispatch(msgType, body) != nil {
 			return
 		}
 	}
+}
+
+// Pump synchronously drains every complete message buffered on the
+// transport and dispatches it exactly as the background read loop would.
+// Only Manual speakers over a buffered in-memory transport may be pumped:
+// because the peer writes each encoded message atomically, the buffered
+// stream is always a whole number of messages and Pump never blocks.
+// Dispatch errors (a NOTIFICATION, a decode failure) tear the session down
+// and are returned; a drained session returns nil.
+func (s *Speaker) Pump() error {
+	ra, ok := s.conn.(interface{ ReadAvailable() int })
+	if !ok {
+		return fmt.Errorf("bgp: Pump needs a transport with ReadAvailable (MemConn)")
+	}
+	for {
+		if s.State() != StateEstablished {
+			return nil
+		}
+		if s.br.Buffered() == 0 && ra.ReadAvailable() == 0 {
+			return nil
+		}
+		msgType, body, err := s.readMessage()
+		if err != nil {
+			s.teardown(err)
+			return err
+		}
+		if err := s.dispatch(msgType, body); err != nil {
+			return err
+		}
+	}
+}
+
+// SendKeepalive emits one KEEPALIVE. Manual-mode owners call it on their
+// own clock in place of the background keepalive loop.
+func (s *Speaker) SendKeepalive() error {
+	if s.State() != StateEstablished {
+		return fmt.Errorf("bgp: keepalive in state %v", s.State())
+	}
+	return s.send(EncodeKeepalive())
 }
 
 func (s *Speaker) applyUpdate(u Update) {

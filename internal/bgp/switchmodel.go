@@ -17,6 +17,10 @@ type Switch struct {
 	RouterID uint32
 	// MaxSafePeers is the operational threshold (paper: 64).
 	MaxSafePeers int
+	// Manual propagates to every accepted peer session: no background
+	// goroutines; the owner pumps and emits keepalives on its own clock.
+	// Must be set before AcceptPeer. See SpeakerConfig.Manual.
+	Manual bool
 
 	mu    sync.Mutex
 	peers map[*Speaker]bool
@@ -57,6 +61,7 @@ func (sw *Switch) AcceptPeer(conn net.Conn) (*Speaker, error) {
 	sp = NewSpeaker(conn, SpeakerConfig{
 		AS:       sw.AS,
 		RouterID: sw.RouterID,
+		Manual:   sw.Manual,
 		// PeerAS 0: the switch accepts any external AS.
 		OnRoute: func(prefix Prefix, attrs PathAttrs, withdrawn bool) {
 			if withdrawn {

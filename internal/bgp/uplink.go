@@ -1,0 +1,325 @@
+package bgp
+
+import (
+	"fmt"
+
+	"albatross/internal/packet"
+	"albatross/internal/sim"
+)
+
+// Uplink is the per-member gateway↔switch session surface the dataplane and
+// fault layers consult. SimSession is the pure timing model; ProxiedSession
+// keeps the same timing model but mirrors every transition through a real
+// proxy-pod eBGP session into the switch RIB.
+type Uplink interface {
+	// RouteUp reports whether the member's VIP route is advertised — the
+	// packet-path eligibility signal.
+	RouteUp() bool
+	// LinkUp reports whether the physical link is up.
+	LinkUp() bool
+	// BFDUp reports whether BFD considers the session alive.
+	BFDUp() bool
+	// Stats returns the cumulative session counters.
+	Stats() SimSessionStats
+	// NextTransition returns the lookahead bound for sharded runs (see
+	// SimSession.NextTransition).
+	NextTransition() sim.Time
+	// DetectionWindow returns the worst-case BFD detection latency.
+	DetectionWindow() sim.Duration
+	// InjectFlap takes the link down for d.
+	InjectFlap(d sim.Duration)
+}
+
+var (
+	_ Uplink = (*SimSession)(nil)
+	_ Uplink = (*ProxiedSession)(nil)
+)
+
+// MemberPrefix returns the canonical VIP prefix member i advertises:
+// 10.(i>>8).(i&255).0/24. Disjoint per member, so concurrent RIB updates
+// from different members commute.
+func MemberPrefix(i int) Prefix {
+	return Prefix{Addr: packet.IPv4FromUint32(0x0a000000 | uint32(i)<<8), Len: 24}
+}
+
+// ProxiedSessionConfig parameterizes one member's real-session uplink.
+type ProxiedSessionConfig struct {
+	// Session carries the BFD timing model (probe interval, DetectMult,
+	// re-establish delay). Its OnDown/OnUp hooks are chained: the proxied
+	// session mirrors the transition into the BGP fabric first, then calls
+	// the user hook.
+	Session SimSessionConfig
+	// Prefix is the VIP the member's pod advertises. Zero value uses
+	// MemberPrefix(Member).
+	Prefix Prefix
+	// Member is the cluster member index; it seeds Prefix and RouterID
+	// defaults.
+	Member int
+	// LocalAS is the server-side AS shared by pod and proxy (iBGP).
+	// Default 64512.
+	LocalAS uint16
+	// RouterID identifies the proxy's upstream session. Zero value derives
+	// from Member (1-based, so member 0 is valid). The pod-session router
+	// ID is RouterID|0x80000000.
+	RouterID uint32
+	// KeepaliveEvery is the virtual-time KEEPALIVE cadence on all four
+	// speakers. Default 30s. Keepalives never change externally visible
+	// state, so they do not factor into NextTransition.
+	KeepaliveEvery sim.Duration
+}
+
+// ProxiedSession is one member's uplink run over the real BGP stack: a GW
+// pod speaker peers iBGP with a Proxy (paper §5: one proxy pod per server),
+// and the proxy holds the single eBGP session to the shared switch model —
+// all over in-memory conns, pumped synchronously inside virtual-time
+// events so byte-identical determinism is preserved.
+//
+// The inner SimSession stays the timing engine: BFD probe grid, detection,
+// and re-advertisement delays are computed exactly as before, which is what
+// keeps outcomes byte-identical with the legacy path and gives sharded runs
+// the same lookahead bound. On every inner transition (and admin change)
+// the session mirrors the new state through the fabric: the pod speaker
+// announces or withdraws the VIP, the proxy refcounts and forwards it
+// upstream, and the switch RIB updates — real OPEN/UPDATE/KEEPALIVE bytes
+// end to end.
+//
+// Eligibility (RouteUp) deliberately reads the BFD view, not the RIB: the
+// RIB is observable shadow state, asserted against the BFD view by the
+// Desyncs counter and pinned in tests. Deriving eligibility from the RIB
+// would tie packet-path behavior to message-pump ordering rather than the
+// timing model.
+type ProxiedSession struct {
+	inner  *SimSession
+	engine *sim.Engine
+
+	sw     *Switch
+	proxy  *Proxy
+	prefix Prefix
+
+	pod    *Speaker // our end of the pod↔proxy iBGP session
+	podSrv *Speaker // proxy's end of the pod session
+	swPeer *Speaker // switch's end of the upstream eBGP session
+
+	adminUp    bool
+	advertised bool
+
+	keepaliveEvery sim.Duration
+
+	// AdminWithdraws / AdminRestores count SetAdmin transitions; Desyncs
+	// counts refreshes where the switch RIB disagreed with the wanted state
+	// after pumping (always 0 unless the fabric breaks).
+	AdminWithdraws uint64
+	AdminRestores  uint64
+	Desyncs        uint64
+}
+
+type sessionResult struct {
+	sp  *Speaker
+	err error
+}
+
+// NewProxiedSession wires pod↔proxy↔switch sessions for one member and
+// starts the BFD timing model on the member's engine. The switch must be in
+// Manual mode; all sessions are established before returning and the VIP is
+// advertised (and visible in the switch RIB).
+func NewProxiedSession(engine *sim.Engine, sw *Switch, cfg ProxiedSessionConfig) (*ProxiedSession, error) {
+	if !sw.Manual {
+		return nil, fmt.Errorf("bgp: proxied session requires a Manual switch")
+	}
+	if cfg.LocalAS == 0 {
+		cfg.LocalAS = 64512
+	}
+	if cfg.RouterID == 0 {
+		cfg.RouterID = uint32(cfg.Member) + 1
+	}
+	if cfg.Prefix == (Prefix{}) {
+		cfg.Prefix = MemberPrefix(cfg.Member)
+	}
+	if cfg.KeepaliveEvery <= 0 {
+		cfg.KeepaliveEvery = 30 * sim.Second
+	}
+	s := &ProxiedSession{
+		engine:         engine,
+		sw:             sw,
+		prefix:         cfg.Prefix.Canonical(),
+		adminUp:        true,
+		keepaliveEvery: cfg.KeepaliveEvery,
+	}
+
+	// Switch ↔ proxy eBGP. The handshake needs both ends concurrent: each
+	// side sends its OPEN first, then reads.
+	up1, up2 := NewMemPipe()
+	swCh := make(chan sessionResult, 1)
+	go func() {
+		sp, err := sw.AcceptPeer(up1)
+		swCh <- sessionResult{sp, err}
+	}()
+	proxy, err := NewProxyConfig(up2, ProxyConfig{
+		LocalAS:  cfg.LocalAS,
+		SwitchAS: sw.AS,
+		RouterID: cfg.RouterID,
+		Manual:   true,
+	})
+	swRes := <-swCh
+	if err != nil {
+		return nil, err
+	}
+	if swRes.err != nil {
+		return nil, fmt.Errorf("bgp: switch side: %w", swRes.err)
+	}
+	s.proxy = proxy
+	s.swPeer = swRes.sp
+
+	// Pod ↔ proxy iBGP.
+	pd1, pd2 := NewMemPipe()
+	podCh := make(chan sessionResult, 1)
+	go func() {
+		sp, err := proxy.ServePod(pd1)
+		podCh <- sessionResult{sp, err}
+	}()
+	pod := NewSpeaker(pd2, SpeakerConfig{
+		AS:       cfg.LocalAS,
+		RouterID: cfg.RouterID | 0x80000000,
+		PeerAS:   cfg.LocalAS,
+		Manual:   true,
+	})
+	podErr := pod.Start()
+	podRes := <-podCh
+	if podErr != nil {
+		return nil, fmt.Errorf("bgp: pod session: %w", podErr)
+	}
+	if podRes.err != nil {
+		return nil, fmt.Errorf("bgp: proxy pod side: %w", podRes.err)
+	}
+	s.pod = pod
+	s.podSrv = podRes.sp
+
+	userDown, userUp := cfg.Session.OnDown, cfg.Session.OnUp
+	cfg.Session.OnDown = func(now sim.Time) {
+		s.refresh()
+		if userDown != nil {
+			userDown(now)
+		}
+	}
+	cfg.Session.OnUp = func(now sim.Time) {
+		s.refresh()
+		if userUp != nil {
+			userUp(now)
+		}
+	}
+	inner, err := NewSimSession(engine, cfg.Session)
+	if err != nil {
+		return nil, err
+	}
+	s.inner = inner
+
+	// Initial advertisement: the session starts established with the route
+	// up, exactly like SimSession.
+	s.refresh()
+	engine.AfterArg(s.keepaliveEvery, proxiedKeepalive, s)
+	return s, nil
+}
+
+// refresh reconciles the fabric with the wanted advertisement state
+// (admin-up AND BFD route-up), pumping all four speakers so the switch RIB
+// reflects the change before the event returns.
+func (s *ProxiedSession) refresh() {
+	want := s.adminUp && s.inner.RouteUp()
+	if want == s.advertised {
+		return
+	}
+	if want {
+		_ = s.pod.Announce([]Prefix{s.prefix}, nil)
+	} else {
+		_ = s.pod.Withdraw([]Prefix{s.prefix})
+	}
+	s.pump()
+	s.advertised = want
+	if got := s.sw.RIB().PathCount(s.prefix) > 0; got != want {
+		s.Desyncs++
+	}
+}
+
+// pump drains every buffered message along the pod→proxy→switch chain (and
+// the reverse keepalive direction). Safe inside a virtual-time event: all
+// conns are MemConns and Manual speakers never block.
+func (s *ProxiedSession) pump() {
+	_ = s.podSrv.Pump() // pod announce/withdraw → proxy refcount → upstream UPDATE
+	_ = s.swPeer.Pump() // upstream UPDATE → switch RIB
+	_ = s.proxy.Upstream().Pump()
+	_ = s.pod.Pump()
+}
+
+func proxiedKeepalive(arg any) {
+	s := arg.(*ProxiedSession)
+	for _, sp := range [...]*Speaker{s.pod, s.podSrv, s.proxy.Upstream(), s.swPeer} {
+		_ = sp.SendKeepalive()
+	}
+	s.pump()
+	s.engine.AfterArg(s.keepaliveEvery, proxiedKeepalive, s)
+}
+
+// SetAdmin drives administrative advertisement: SetAdmin(false) withdraws
+// the VIP through the fabric (a drain) regardless of BFD state;
+// SetAdmin(true) restores it. Must be called from control context (after
+// shard synchronization in sharded runs).
+func (s *ProxiedSession) SetAdmin(up bool) {
+	if s.adminUp == up {
+		return
+	}
+	s.adminUp = up
+	if up {
+		s.AdminRestores++
+	} else {
+		s.AdminWithdraws++
+	}
+	s.refresh()
+}
+
+// AdminUp reports the administrative state.
+func (s *ProxiedSession) AdminUp() bool { return s.adminUp }
+
+// Advertised reports whether the VIP is currently advertised through the
+// fabric.
+func (s *ProxiedSession) Advertised() bool { return s.advertised }
+
+// Prefix returns the member's VIP prefix.
+func (s *ProxiedSession) Prefix() Prefix { return s.prefix }
+
+// Proxy returns the member's proxy pod.
+func (s *ProxiedSession) Proxy() *Proxy { return s.proxy }
+
+// PodSpeaker returns the GW-pod end of the iBGP session (for tests that
+// drive extra pod advertisements).
+func (s *ProxiedSession) PodSpeaker() *Speaker { return s.pod }
+
+// Pump drains all four speakers; exposed for tests and auxiliary sessions.
+func (s *ProxiedSession) Pump() { s.pump() }
+
+// RouteUp reports packet-path eligibility. It reads the BFD timing model
+// only — not the switch RIB and not the admin mirror. The cluster's
+// adminUntil clock-comparison stays the authority for administrative
+// drains (exactly as on the legacy path), so a packet arriving at the
+// drain-expiry instant sees the same eligibility regardless of whether the
+// admin-restore event has run yet; the fabric mirror is observable shadow
+// state.
+func (s *ProxiedSession) RouteUp() bool { return s.inner.RouteUp() }
+
+// LinkUp reports whether the physical link is up.
+func (s *ProxiedSession) LinkUp() bool { return s.inner.LinkUp() }
+
+// BFDUp reports whether BFD considers the session alive.
+func (s *ProxiedSession) BFDUp() bool { return s.inner.BFDUp() }
+
+// Stats returns the inner timing model's counters.
+func (s *ProxiedSession) Stats() SimSessionStats { return s.inner.Stats() }
+
+// NextTransition delegates to the timing model (admin changes come from
+// control context, which synchronizes shards itself).
+func (s *ProxiedSession) NextTransition() sim.Time { return s.inner.NextTransition() }
+
+// DetectionWindow returns the worst-case BFD detection latency.
+func (s *ProxiedSession) DetectionWindow() sim.Duration { return s.inner.DetectionWindow() }
+
+// InjectFlap takes the link down for d.
+func (s *ProxiedSession) InjectFlap(d sim.Duration) { s.inner.InjectFlap(d) }

@@ -9,17 +9,27 @@
 // administratively first (make-before-break, zero loss).
 //
 // The package implements faults.NodeTarget, extending the deterministic
-// fault plans of internal/faults to node granularity (node crash, node
-// drain, uplink withdraw) while still routing pod-level faults to member
-// nodes via Fault.Node.
+// fault plans of internal/faults to node granularity — one unified
+// InjectNodeFault entry point covering node crash, node drain, and uplink
+// withdraw — while still routing pod-level faults to member nodes via
+// Fault.Node.
+//
+// By default every member's uplink runs over the real BGP stack
+// (bgp.ProxiedSession): a GW-pod speaker peers iBGP with the member's proxy
+// pod, which holds the single eBGP session to one shared switch model —
+// the paper's §5 peer-scaling topology at cluster scale. The BFD timing
+// model is unchanged (byte-identical outcomes with the legacy path);
+// Config.BGP = "sim" opts back into the pure timing stub.
 package cluster
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"strconv"
 	"strings"
 
+	"albatross/internal/bgp"
 	"albatross/internal/core"
 	"albatross/internal/errs"
 	"albatross/internal/faults"
@@ -59,6 +69,12 @@ type Config struct {
 	// per-tick deltas of the cluster-level series into Timeline(). Zero
 	// disables sampling; the packet path is untouched either way.
 	SnapshotEvery sim.Duration
+	// BGP selects the uplink implementation: "proxy" (default) runs each
+	// member over the real BGP stack — pod speaker → proxy pod → shared
+	// switch model, in-memory eBGP sessions — while "sim" keeps the pure
+	// SimSession timing stub. Both share the identical BFD timing model, so
+	// outcomes are byte-identical across the two.
+	BGP string
 }
 
 // memberState tracks a member's lifecycle for reporting; ECMP eligibility
@@ -69,6 +85,9 @@ const (
 	memberActive memberState = iota
 	memberDraining
 	memberCrashed
+	// memberRemoved is terminal: the slot keeps its index (members are
+	// never renumbered) but owns no ring points and cannot be resurrected.
+	memberRemoved
 )
 
 func (s memberState) String() string {
@@ -79,6 +98,8 @@ func (s memberState) String() string {
 		return "draining"
 	case memberCrashed:
 		return "crashed"
+	case memberRemoved:
+		return "removed"
 	default:
 		return "invalid"
 	}
@@ -96,6 +117,8 @@ type Member struct {
 	// withdraw): the member is ineligible while now < adminUntil. Unlike a
 	// crash, the switch learns immediately — make-before-break.
 	adminUntil sim.Time
+	// weight is the member's ECMP weight (1.0 = full vnode share).
+	weight float64
 
 	// Rx counts packets ECMP delivered to this member.
 	Rx uint64
@@ -105,6 +128,8 @@ type Member struct {
 
 	// shard is the engine shard owning this member (0 on the legacy path).
 	shard int
+	// proxied is the real-BGP uplink session (nil under Config.BGP "sim").
+	proxied *bgp.ProxiedSession
 }
 
 // Shard returns the engine shard that owns the member (0 when the cluster
@@ -113,6 +138,24 @@ func (m *Member) Shard() int { return m.shard }
 
 // State returns the member's lifecycle state name.
 func (m *Member) State() string { return m.state.String() }
+
+// Weight returns the member's ECMP weight.
+func (m *Member) Weight() float64 { return m.weight }
+
+// Proxied returns the member's real-BGP uplink session, nil when the
+// cluster runs the "sim" uplink stub.
+func (m *Member) Proxied() *bgp.ProxiedSession { return m.proxied }
+
+// ActivePods counts the member's pods in the active lifecycle state.
+func (m *Member) ActivePods() int {
+	n := 0
+	for _, pr := range m.Node.Pods() {
+		if pr.State() == "active" {
+			n++
+		}
+	}
+	return n
+}
 
 // Cluster is a set of Albatross nodes behind consistent-hash ECMP.
 type Cluster struct {
@@ -137,6 +180,11 @@ type Cluster struct {
 	sharded *sim.ShardedEngine
 	shards  int
 	mail    []shardMailbox
+	// switchModel is the shared uplink switch every member's proxy peers
+	// with (nil under Config.BGP "sim").
+	switchModel *bgp.Switch
+	// controller is the attached control loop, if any (see AttachController).
+	controller Controller
 
 	// Sprayed counts ingress packets offered to the ECMP layer; Remapped
 	// counts those delivered to a member other than their ring home (the
@@ -178,6 +226,13 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.SnapshotEvery < 0 {
 		return nil, fmt.Errorf("cluster: SnapshotEvery %d must be >= 0: %w", cfg.SnapshotEvery, errs.BadConfig)
 	}
+	switch cfg.BGP {
+	case "":
+		cfg.BGP = "proxy"
+	case "proxy", "sim":
+	default:
+		return nil, fmt.Errorf("cluster: BGP mode %q not in {proxy, sim}: %w", cfg.BGP, errs.BadConfig)
+	}
 	shards := cfg.Shards
 	if shards == 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -189,6 +244,13 @@ func New(cfg Config) (*Cluster, error) {
 		cfg:    cfg,
 		ring:   newRing(cfg.VNodesPerNode),
 		shards: shards,
+	}
+	if cfg.BGP == "proxy" {
+		c.switchModel = bgp.NewSwitch(65000, 0xFFFF0001)
+		c.switchModel.Manual = true
+		// One proxy per member is exactly what keeps the peer count at m,
+		// but the capacity model still flags over-dense clusters.
+		c.switchModel.MaxSafePeers = 64
 	}
 	if shards > 1 {
 		c.sharded = sim.NewShardedEngine(shards)
@@ -227,12 +289,22 @@ func (c *Cluster) addMember() (*Member, error) {
 	if err != nil {
 		return nil, err
 	}
-	// No proxy: at cluster scope the failover path is re-ECMP to
-	// survivors, not a sibling re-advertisement of the same prefix.
-	if _, err := n.EnableUplink(false); err != nil {
+	m := &Member{Index: i, Node: n, shard: shard, weight: 1}
+	// At cluster scope the failover path is re-ECMP to survivors, not a
+	// sibling re-advertisement of the same prefix, so the core-level proxy
+	// detour stays off on both uplink implementations.
+	if c.switchModel != nil {
+		ps, err := bgp.NewProxiedSession(ncfg.Engine, c.switchModel, bgp.ProxiedSessionConfig{Member: i})
+		if err != nil {
+			return nil, err
+		}
+		if err := n.InstallUplink(ps, false); err != nil {
+			return nil, err
+		}
+		m.proxied = ps
+	} else if _, err := n.EnableUplink(false); err != nil {
 		return nil, err
 	}
-	m := &Member{Index: i, Node: n, shard: shard}
 	c.members = append(c.members, m)
 	c.ring.add(i)
 	return m, nil
@@ -243,6 +315,10 @@ func (c *Cluster) addMember() (*Member, error) {
 // only ~1/(N+1) of flows remap onto the new member. Returns the new
 // member's index.
 func (c *Cluster) AddNode() (int, error) {
+	// The new member's uplink (and pods) arm events on its shard's engine,
+	// which may lag the control clock mid-run: bring it current first so
+	// nothing is scheduled in the shard's past.
+	c.syncShards()
 	m, err := c.addMember()
 	if err != nil {
 		return 0, err
@@ -278,6 +354,11 @@ func (c *Cluster) memberAt(i int) (*Member, error) {
 	return c.members[i], nil
 }
 
+// MemberAt returns member i — the typed accessor for callers that need
+// member state (weight, lifecycle, uplink), instead of type-asserting the
+// opaque faults.Target that NodeAt returns.
+func (c *Cluster) MemberAt(i int) (*Member, error) { return c.memberAt(i) }
+
 // NodeAt resolves member i as a pod-level fault target. Implements
 // faults.NodeTarget. On a sharded cluster the target is wrapped so every
 // pod-level fault synchronizes the shards to the control clock first — the
@@ -292,6 +373,170 @@ func (c *Cluster) NodeAt(i int) (faults.Target, error) {
 	}
 	return &syncedTarget{c: c, n: m.Node}, nil
 }
+
+// SetWeight sets member node's ECMP weight: weight w owns round(w×vnodes)
+// ring points (min 1 while positive; 0 removes the member's points without
+// retiring the slot). A pure control-plane mutation — the ring is only read
+// on the control engine, so no shard synchronization is needed — and the
+// canonical canary primitive: shift a member 0.1 → 0.5 → 1.0 while watching
+// availability.
+func (c *Cluster) SetWeight(node int, w float64) error {
+	m, err := c.memberAt(node)
+	if err != nil {
+		return err
+	}
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("cluster: weight %v must be a finite non-negative number: %w", w, errs.BadConfig)
+	}
+	if m.state == memberRemoved {
+		return fmt.Errorf("cluster: node %d is removed: %w", node, errs.BadState)
+	}
+	m.weight = w
+	c.ring.setCount(node, c.ring.weightCount(w))
+	return nil
+}
+
+// SetNodeAdmin pins member node's administrative state: up=false withdraws
+// the route indefinitely (new flows re-ECMP to survivors instantly, pods
+// untouched); up=true restores it. Unlike InjectNodeFault's timed
+// withdrawals, the state holds until the opposite call — the reconciler's
+// drain primitive.
+func (c *Cluster) SetNodeAdmin(node int, up bool) error {
+	m, err := c.memberAt(node)
+	if err != nil {
+		return err
+	}
+	if m.state == memberRemoved {
+		return fmt.Errorf("cluster: node %d is removed: %w", node, errs.BadState)
+	}
+	if up {
+		m.adminUntil = c.Engine.Now()
+		if m.proxied != nil {
+			c.syncShards()
+			m.proxied.SetAdmin(true)
+		}
+		return nil
+	}
+	m.adminUntil = c.Engine.Now().Add(foreverDuration)
+	if m.proxied != nil {
+		c.syncShards()
+		m.proxied.SetAdmin(false)
+	}
+	return nil
+}
+
+// RemoveNode permanently retires member node: its ring points are removed
+// (the consistent-hash bound applies — only its own share of flows remap),
+// its route is withdrawn through the fabric, and its pods stop gracefully.
+// The slot keeps its index (members are never renumbered) and cannot be
+// resurrected; grow again with AddNode. Callers wanting zero loss drain
+// first (SetNodeAdmin false, wait a tick) — the reconciler's
+// make-before-break removal does exactly that.
+func (c *Cluster) RemoveNode(node int) error {
+	m, err := c.memberAt(node)
+	if err != nil {
+		return err
+	}
+	if m.state == memberRemoved {
+		return fmt.Errorf("cluster: node %d already removed: %w", node, errs.BadState)
+	}
+	// Pod stops arm timers on the owning shard's engine.
+	c.syncShards()
+	m.state = memberRemoved
+	m.adminUntil = c.Engine.Now().Add(foreverDuration)
+	if m.proxied != nil {
+		m.proxied.SetAdmin(false)
+	}
+	c.ring.remove(node)
+	for pi, pr := range m.Node.Pods() {
+		if pr.State() == "active" {
+			if err := m.Node.InjectPodCrash(pi, true, foreverDuration); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ScalePods drives member node's active pod count to want, deploying
+// copies of the first recorded AddPod template (scale-up) or gracefully
+// stopping the highest-index active pods (scale-down). Rolling pod updates
+// reduce to ScalePods steps under the reconciler's rate limit.
+func (c *Cluster) ScalePods(node, want int) error {
+	m, err := c.memberAt(node)
+	if err != nil {
+		return err
+	}
+	if want < 0 {
+		return fmt.Errorf("cluster: pod count %d must be >= 0: %w", want, errs.BadConfig)
+	}
+	if m.state == memberRemoved {
+		return fmt.Errorf("cluster: node %d is removed: %w", node, errs.BadState)
+	}
+	// Pod deploys and stops mutate shard-owned state.
+	c.syncShards()
+	for m.ActivePods() < want {
+		if len(c.podCfgs) == 0 {
+			return fmt.Errorf("cluster: no pod template recorded (AddPod first): %w", errs.BadState)
+		}
+		tmpl := c.podCfgs[0]
+		tmpl.Spec.Name = fmt.Sprintf("%s-s%d", tmpl.Spec.Name, len(m.Node.Pods()))
+		if _, err := m.Node.AddPod(tmpl); err != nil {
+			return err
+		}
+	}
+	for m.ActivePods() > want {
+		pods := m.Node.Pods()
+		victim := -1
+		for pi := len(pods) - 1; pi >= 0; pi-- {
+			if pods[pi].State() == "active" {
+				victim = pi
+				break
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		if err := m.Node.InjectPodCrash(victim, true, foreverDuration); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetNodeFlowBackend swaps member node's flow-table backend in place (see
+// core.Node.SetFlowBackend) — one member of a rolling config update.
+func (c *Cluster) SetNodeFlowBackend(node int, name string) error {
+	m, err := c.memberAt(node)
+	if err != nil {
+		return err
+	}
+	if m.state == memberRemoved {
+		return fmt.Errorf("cluster: node %d is removed: %w", node, errs.BadState)
+	}
+	// The swap rebuilds shard-owned steering state.
+	c.syncShards()
+	return m.Node.SetFlowBackend(name)
+}
+
+// SwitchModel returns the shared uplink switch of the proxied BGP fabric
+// (nil under Config.BGP "sim").
+func (c *Cluster) SwitchModel() *bgp.Switch { return c.switchModel }
+
+// Controller is an attached control loop (controlplane.Reconciler); the
+// cluster only knows enough to surface it in reports and hand it back to
+// callers that built the cluster through the facade.
+type Controller interface {
+	// Summary renders a deterministic one-line state summary.
+	Summary() string
+}
+
+// AttachController registers the cluster's control loop. One controller at
+// a time; attaching replaces the previous one.
+func (c *Cluster) AttachController(ctrl Controller) { c.controller = ctrl }
+
+// Controller returns the attached control loop (nil when none).
+func (c *Cluster) Controller() Controller { return c.controller }
 
 // eligible reports whether the switch would ECMP traffic to member i: the
 // route must be advertised (BGP view) and not administratively withdrawn.
@@ -461,18 +706,58 @@ func (c *Cluster) Pending() int {
 	return c.Engine.Pending()
 }
 
-// InjectNodeCrash kills member node abruptly: the uplink goes down (BFD
+// InjectNodeFault is the unified node-level fault entry point: it fires
+// kind (KindNodeCrash, KindNodeDrain, or KindUplinkWithdraw) against member
+// node. The reconciler, scenario runner, and fault injector all route
+// through here. Implements faults.NodeTarget.
+func (c *Cluster) InjectNodeFault(kind faults.Kind, node int, d sim.Duration) error {
+	switch kind {
+	case faults.KindNodeCrash:
+		return c.injectNodeCrash(node, d)
+	case faults.KindNodeDrain:
+		return c.injectNodeDrain(node, d)
+	case faults.KindUplinkWithdraw:
+		return c.injectUplinkWithdraw(node, d)
+	default:
+		return fmt.Errorf("cluster: %v is not a node-level fault kind: %w", kind, errs.BadConfig)
+	}
+}
+
+// InjectNodeCrash kills member node abruptly.
+//
+// Deprecated: use InjectNodeFault(faults.KindNodeCrash, node, d).
+func (c *Cluster) InjectNodeCrash(node int, d sim.Duration) error {
+	return c.InjectNodeFault(faults.KindNodeCrash, node, d)
+}
+
+// InjectNodeDrain gray-upgrades member node.
+//
+// Deprecated: use InjectNodeFault(faults.KindNodeDrain, node, d).
+func (c *Cluster) InjectNodeDrain(node int, d sim.Duration) error {
+	return c.InjectNodeFault(faults.KindNodeDrain, node, d)
+}
+
+// InjectUplinkWithdraw administratively withdraws member node's route.
+//
+// Deprecated: use InjectNodeFault(faults.KindUplinkWithdraw, node, d).
+func (c *Cluster) InjectUplinkWithdraw(node int, d sim.Duration) error {
+	return c.InjectNodeFault(faults.KindUplinkWithdraw, node, d)
+}
+
+// injectNodeCrash kills member node abruptly: the uplink goes down (BFD
 // detects after its probe window; arrivals meanwhile are blackholed at the
 // dead link) and every pod crashes. The node recovers after d (0 = never):
 // pods restart, BFD comes back, and the route re-advertises, restoring the
-// exact pre-crash ECMP assignment. Implements faults.NodeTarget.
-func (c *Cluster) InjectNodeCrash(node int, d sim.Duration) error {
+// exact pre-crash ECMP assignment. On the proxied uplink, detection and
+// re-advertisement flow through real withdraw/announce UPDATEs into the
+// switch RIB via the session's own BFD hooks — no admin mirroring needed.
+func (c *Cluster) injectNodeCrash(node int, d sim.Duration) error {
 	m, err := c.memberAt(node)
 	if err != nil {
 		return err
 	}
-	if m.state == memberCrashed {
-		return fmt.Errorf("cluster: node %d already crashed: %w", node, errs.BadState)
+	if m.state == memberCrashed || m.state == memberRemoved {
+		return fmt.Errorf("cluster: node %d is %v: %w", node, m.state, errs.BadState)
 	}
 	if d <= 0 {
 		d = foreverDuration
@@ -499,12 +784,11 @@ func (c *Cluster) InjectNodeCrash(node int, d sim.Duration) error {
 	return nil
 }
 
-// InjectNodeDrain gray-upgrades member node: its route is withdrawn
+// injectNodeDrain gray-upgrades member node: its route is withdrawn
 // administratively *first* (make-before-break — new flows re-ECMP to
 // survivors instantly, zero loss), its pods drain in place so in-flight
 // packets complete, and the node rejoins the ECMP group after d.
-// Implements faults.NodeTarget.
-func (c *Cluster) InjectNodeDrain(node int, d sim.Duration) error {
+func (c *Cluster) injectNodeDrain(node int, d sim.Duration) error {
 	m, err := c.memberAt(node)
 	if err != nil {
 		return err
@@ -519,9 +803,7 @@ func (c *Cluster) InjectNodeDrain(node int, d sim.Duration) error {
 	c.syncShards()
 	m.state = memberDraining
 	m.Drains++
-	if until := c.Engine.Now().Add(d); until > m.adminUntil {
-		m.adminUntil = until
-	}
+	c.adminWithdraw(m, d)
 	for pi, pr := range m.Node.Pods() {
 		if pr.State() == "active" {
 			if err := m.Node.InjectPodCrash(pi, true, d); err != nil {
@@ -537,12 +819,13 @@ func (c *Cluster) InjectNodeDrain(node int, d sim.Duration) error {
 	return nil
 }
 
-// InjectUplinkWithdraw administratively withdraws member node's route for
-// d without touching its pods (drain-the-uplink). Implements
-// faults.NodeTarget. No shard synchronization is needed: the withdrawal
-// only moves adminUntil, a control-plane time threshold the ECMP layer
-// evaluates exactly at each arrival's own timestamp.
-func (c *Cluster) InjectUplinkWithdraw(node int, d sim.Duration) error {
+// injectUplinkWithdraw administratively withdraws member node's route for d
+// without touching its pods (drain-the-uplink). Eligibility only moves
+// adminUntil, a control-plane time threshold the ECMP layer evaluates
+// exactly at each arrival's own timestamp; on the proxied uplink the
+// withdrawal is additionally mirrored through the real fabric (which
+// synchronizes the shards — the session's speakers are shard-owned).
+func (c *Cluster) injectUplinkWithdraw(node int, d sim.Duration) error {
 	m, err := c.memberAt(node)
 	if err != nil {
 		return err
@@ -550,10 +833,38 @@ func (c *Cluster) InjectUplinkWithdraw(node int, d sim.Duration) error {
 	if d <= 0 {
 		return fmt.Errorf("cluster: uplink withdraw needs a positive duration: %w", errs.BadConfig)
 	}
+	if m.state == memberRemoved {
+		return fmt.Errorf("cluster: node %d is removed: %w", node, errs.BadState)
+	}
+	c.adminWithdraw(m, d)
+	return nil
+}
+
+// adminWithdraw extends m's administrative withdrawal to now+d and mirrors
+// it through the proxied fabric: the VIP is withdrawn from the switch RIB
+// now and re-advertised when the admin window expires. Eligibility itself
+// stays the adminUntil threshold (evaluated per arrival timestamp), so the
+// mirror never perturbs packet-path decisions — it keeps the observable
+// RIB state truthful.
+func (c *Cluster) adminWithdraw(m *Member, d sim.Duration) {
 	if until := c.Engine.Now().Add(d); until > m.adminUntil {
 		m.adminUntil = until
 	}
-	return nil
+	if m.proxied == nil {
+		return
+	}
+	// The mirror pumps shard-owned speakers: shards must be quiescent at
+	// the control clock.
+	c.syncShards()
+	m.proxied.SetAdmin(false)
+	c.Engine.At(m.adminUntil, func() {
+		// A later withdrawal may have extended the window (its own timer
+		// covers the restore) and a removal is permanent.
+		if c.Engine.Now() >= m.adminUntil && m.state != memberRemoved {
+			c.syncShards()
+			m.proxied.SetAdmin(true)
+		}
+	})
 }
 
 // Blackholed sums packets lost at dead links across members (the BFD

@@ -1,8 +1,11 @@
 package cluster
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
-// ring is the consistent-hash ECMP table: every member owns vnodesPerMember
+// ring is the consistent-hash ECMP table: every member owns a number of
 // pseudo-random points on a 64-bit ring, and a flow hash maps to the first
 // point clockwise from it. Flow affinity follows directly (the same hash
 // always lands on the same point), and membership churn has bounded blast
@@ -10,10 +13,20 @@ import "sort"
 // covered — in expectation 1/N of flows, ≤ 2/N with the vnode counts used
 // here — instead of reshuffling everything the way modular hashing would.
 //
+// Members are weighted by vnode count: weight w owns round(w×vnodes)
+// points (min 1 while w > 0), so a canary at weight 0.1 draws ~10% of a
+// full member's share. Point positions depend only on (member, ordinal) —
+// a member at count c owns exactly the first c of its full point sequence
+// — so shifting a weight moves only the hash ranges of the points added or
+// removed, and rings built through any mutation history with the same final
+// counts are identical.
+//
 // Failover is handled at lookup time, not by rebuilding the ring: points of
 // ineligible members (route withdrawn, crashed, admin down) are walked over
 // to the next eligible point. Keeping dead members' points in place means
-// recovery restores the exact pre-failure assignment.
+// recovery restores the exact pre-failure assignment. Weight changes and
+// removal DO rebuild — they are deliberate control-plane reassignments,
+// not failures to recover from.
 
 // ringPoint is one vnode: a position on the hash ring owned by a member.
 type ringPoint struct {
@@ -24,6 +37,8 @@ type ringPoint struct {
 type ring struct {
 	points []ringPoint // sorted by hash
 	vnodes int
+	// counts[member] is the member's current vnode count (0 = absent).
+	counts []int
 }
 
 // mix64 is a splitmix64-style finalizer used to place vnodes and spread
@@ -41,13 +56,48 @@ func newRing(vnodesPerMember int) *ring {
 	return &ring{vnodes: vnodesPerMember}
 }
 
-// add inserts member's vnodes. Point positions depend only on the member
-// index and vnode ordinal, so rings built with the same membership are
-// identical regardless of construction order.
-func (r *ring) add(member int) {
-	for v := 0; v < r.vnodes; v++ {
-		h := mix64(uint64(member)<<32 | uint64(v) | 0xec3f<<48)
-		r.points = append(r.points, ringPoint{hash: h, member: int32(member)})
+// weightCount converts an ECMP weight to a vnode count: round(w×vnodes),
+// at least 1 while the weight is positive, 0 at weight 0.
+func (r *ring) weightCount(w float64) int {
+	if w <= 0 {
+		return 0
+	}
+	c := int(math.Round(w * float64(r.vnodes)))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// add inserts member at full weight.
+func (r *ring) add(member int) { r.setCount(member, r.vnodes) }
+
+// remove deletes every point the member owns.
+func (r *ring) remove(member int) { r.setCount(member, 0) }
+
+// setCount pins member's vnode count and rebuilds the table. No-op when
+// the count already matches.
+func (r *ring) setCount(member, count int) {
+	for member >= len(r.counts) {
+		r.counts = append(r.counts, 0)
+	}
+	if r.counts[member] == count {
+		return
+	}
+	r.counts[member] = count
+	r.rebuild()
+}
+
+// rebuild regenerates the sorted point table from counts. Deterministic:
+// point hashes depend only on (member, ordinal) and the sort order is
+// total (hash, then member).
+func (r *ring) rebuild() {
+	r.points = r.points[:0]
+	for m, count := range r.counts {
+		for v := 0; v < count; v++ {
+			h := mix64(uint64(m)<<32 | uint64(v) | 0xec3f<<48)
+			r.points = append(r.points, ringPoint{hash: h, member: int32(m)})
+		}
 	}
 	sort.Slice(r.points, func(i, j int) bool {
 		if r.points[i].hash != r.points[j].hash {

@@ -267,13 +267,13 @@ type Target interface {
 }
 
 // NodeTarget is what an injector drives for node-level faults.
-// internal/cluster's Cluster implements it. NodeAt resolves a member node's
-// pod-level Target, so one cluster plan can mix node- and pod-level faults
-// (Fault.Node selects the member for both).
+// internal/cluster's Cluster implements it. InjectNodeFault is the single
+// entry point for every node-level kind (KindNodeCrash, KindNodeDrain,
+// KindUplinkWithdraw); NodeAt resolves a member node's pod-level Target, so
+// one cluster plan can mix node- and pod-level faults (Fault.Node selects
+// the member for both).
 type NodeTarget interface {
-	InjectNodeCrash(node int, d sim.Duration) error
-	InjectNodeDrain(node int, d sim.Duration) error
-	InjectUplinkWithdraw(node int, d sim.Duration) error
+	InjectNodeFault(kind Kind, node int, d sim.Duration) error
 	NodeAt(node int) (Target, error)
 }
 
@@ -362,12 +362,8 @@ func fireFault(arg any) {
 	inj, f := fr.inj, fr.fault
 	var err error
 	switch f.Kind {
-	case KindNodeCrash:
-		err = inj.nodes.InjectNodeCrash(f.Node, f.Duration)
-	case KindNodeDrain:
-		err = inj.nodes.InjectNodeDrain(f.Node, f.Duration)
-	case KindUplinkWithdraw:
-		err = inj.nodes.InjectUplinkWithdraw(f.Node, f.Duration)
+	case KindNodeCrash, KindNodeDrain, KindUplinkWithdraw:
+		err = inj.nodes.InjectNodeFault(f.Kind, f.Node, f.Duration)
 	default:
 		var t Target
 		t, err = inj.podTarget(f)

@@ -53,14 +53,17 @@ func (r *recNodeTarget) rec(op string, node int) error {
 	r.ops = append(r.ops, fmt.Sprintf("%s@%d", op, node))
 	return nil
 }
-func (r *recNodeTarget) InjectNodeCrash(node int, d sim.Duration) error {
-	return r.rec("nodecrash", node)
-}
-func (r *recNodeTarget) InjectNodeDrain(node int, d sim.Duration) error {
-	return r.rec("nodedrain", node)
-}
-func (r *recNodeTarget) InjectUplinkWithdraw(node int, d sim.Duration) error {
-	return r.rec("withdraw", node)
+func (r *recNodeTarget) InjectNodeFault(kind Kind, node int, d sim.Duration) error {
+	switch kind {
+	case KindNodeCrash:
+		return r.rec("nodecrash", node)
+	case KindNodeDrain:
+		return r.rec("nodedrain", node)
+	case KindUplinkWithdraw:
+		return r.rec("withdraw", node)
+	default:
+		return errors.New("not a node kind")
+	}
 }
 func (r *recNodeTarget) NodeAt(node int) (Target, error) {
 	if node < 0 || node >= len(r.nodes) {

@@ -126,9 +126,11 @@ func (s *Scenario) evaluate(st *runState, outcome string) []Check {
 		case "window_max":
 			c.OK, c.Detail = s.checkWindowMax(st, a)
 		case "byte_identity":
-			c.OK, c.Detail = s.checkByteIdentity(a, outcome)
+			c.OK, c.Detail = s.checkByteIdentity(a, st)
 		case "replay_identity":
-			c.OK, c.Detail = s.checkReplayIdentity(st, outcome)
+			c.OK, c.Detail = s.checkReplayIdentity(st)
+		case "reconciled":
+			c.OK, c.Detail = checkReconciled(st)
 		}
 		checks = append(checks, c)
 	}
@@ -297,38 +299,42 @@ func (s *Scenario) checkWindowMax(st *runState, a Assertion) (bool, string) {
 
 // checkByteIdentity re-executes the scenario (fresh deployments, same
 // seed) a.Runs-1 extra times and once per extra shard count, requiring
-// every outcome report to match the first byte for byte.
-func (s *Scenario) checkByteIdentity(a Assertion, outcome string) (bool, string) {
+// every identity document — outcome report plus reconciler step log — to
+// match the first byte for byte.
+func (s *Scenario) checkByteIdentity(a Assertion, st *runState) (bool, string) {
+	doc := st.identityDoc()
 	for run := 1; run < a.Runs; run++ {
-		st, err := s.exec(s.Fleet.Shards, false, nil)
+		st2, err := s.exec(s.Fleet.Shards, false, nil)
 		if err != nil {
 			return false, fmt.Sprintf("repeat run %d failed: %v", run, err)
 		}
-		if got := st.cl.Outcome(); got != outcome {
+		if got := st2.identityDoc(); got != doc {
 			return false, fmt.Sprintf("repeat run %d outcome diverged (%d vs %d bytes)",
-				run, len(got), len(outcome))
+				run, len(got), len(doc))
 		}
 	}
 	for _, k := range a.Shards {
-		st, err := s.exec(k, false, nil)
+		st2, err := s.exec(k, false, nil)
 		if err != nil {
 			return false, fmt.Sprintf("shards=%d run failed: %v", k, err)
 		}
-		if got := st.cl.Outcome(); got != outcome {
+		if got := st2.identityDoc(); got != doc {
 			return false, fmt.Sprintf("shards=%d outcome diverged (%d vs %d bytes)",
-				k, len(got), len(outcome))
+				k, len(got), len(doc))
 		}
 	}
 	return true, fmt.Sprintf("%d run(s) and shard counts %v byte-identical (outcome %d bytes)",
-		a.Runs, a.Shards, len(outcome))
+		a.Runs, a.Shards, len(doc))
 }
 
 // checkReplayIdentity replays the run's recorded injection schedule into
-// a fresh deployment and requires the outcome to match the live run.
-func (s *Scenario) checkReplayIdentity(st *runState, outcome string) (bool, string) {
+// a fresh deployment and requires the identity document — outcome plus
+// reconciler step log — to match the live run.
+func (s *Scenario) checkReplayIdentity(st *runState) (bool, string) {
 	if st.rec == nil {
 		return false, "no recorded trace (internal error)"
 	}
+	doc := st.identityDoc()
 	tr := st.rec.Trace()
 	rerun, err := s.exec(s.Fleet.Shards, false, tr)
 	if err != nil {
@@ -338,12 +344,30 @@ func (s *Scenario) checkReplayIdentity(st *runState, outcome string) (bool, stri
 		return false, fmt.Sprintf("replay injected %d of %d recorded events (raise duration)",
 			rerun.replayed, len(tr.Events))
 	}
-	if got := rerun.cl.Outcome(); got != outcome {
+	if got := rerun.identityDoc(); got != doc {
 		return false, fmt.Sprintf("replayed outcome diverged from live run (%d vs %d bytes)",
-			len(got), len(outcome))
+			len(got), len(doc))
 	}
 	return true, fmt.Sprintf("replayed %d recorded events, outcome byte-identical (%d bytes)",
-		len(tr.Events), len(outcome))
+		len(tr.Events), len(doc))
+}
+
+// checkReconciled verifies the control plane finished its job: the
+// reconciler converged to the final spec, applied every step cleanly, and
+// every spec_update was accepted.
+func checkReconciled(st *runState) (bool, string) {
+	if st.recon == nil {
+		return false, "no reconciler ran (internal error: validation requires a spec block)"
+	}
+	errSteps := 0
+	for _, step := range st.recon.Steps() {
+		if step.Err != nil {
+			errSteps++
+		}
+	}
+	ok := st.recon.Converged() && errSteps == 0 && len(st.specErrs) == 0
+	return ok, fmt.Sprintf("%s; %d errored step(s), %d rejected spec_update(s)",
+		st.recon.Summary(), errSteps, len(st.specErrs))
 }
 
 // journeyJSON is the on-disk form of one committed packet journey

@@ -7,6 +7,7 @@ import (
 
 	"albatross/internal/cachesim"
 	"albatross/internal/cluster"
+	"albatross/internal/controlplane"
 	"albatross/internal/core"
 	"albatross/internal/faults"
 	"albatross/internal/gop"
@@ -134,6 +135,24 @@ type runState struct {
 	replayed  int
 	replayOf  int
 	rec       *trace.Recorder
+	// recon is the control-plane reconciler (nil without a spec block).
+	recon *controlplane.Reconciler
+	// specErrs records failed spec_update applications, in fire order.
+	specErrs []string
+}
+
+// identityDoc is the byte-identity comparand: the cluster outcome plus,
+// when a reconciler ran, its timed step log — so identity assertions also
+// gate the control plane's exact convergence trajectory.
+func (st *runState) identityDoc() string {
+	doc := st.cl.Outcome()
+	if st.recon != nil {
+		doc += "== reconcile ==\n" + st.recon.StepLog()
+		for _, e := range st.specErrs {
+			doc += "spec_update ERR " + e + "\n"
+		}
+	}
+	return doc
 }
 
 // Run validates and executes the scenario, evaluates its assertions
@@ -240,6 +259,32 @@ func (s *Scenario) exec(shards int, record bool, replayOf *trace.Trace) (*runSta
 	}
 
 	st := &runState{cl: cl}
+	if s.Spec != nil {
+		st.recon, err = controlplane.NewReconciler(cl, s.Spec.ClusterSpec(), s.Spec.Config())
+		if err != nil {
+			return nil, err
+		}
+		// Arm the timed spec updates. Each rewrites one member slot of the
+		// current desired state (growing it when the slot is new) and
+		// resubmits; a rejected update is recorded, not fatal — the run
+		// completes and the reconciled assertion or report surfaces it.
+		for _, ev := range s.Events {
+			if ev.Action != ActionSpecUpdate {
+				continue
+			}
+			ev := ev
+			cl.Engine.At(sim.Time(ev.At), func() {
+				spec := st.recon.Spec()
+				for len(spec.Members) <= ev.Member {
+					spec.Members = append(spec.Members, controlplane.MemberSpec{})
+				}
+				spec.Members[ev.Member] = ev.Entry
+				if err := st.recon.SetSpec(spec); err != nil {
+					st.specErrs = append(st.specErrs, fmt.Sprintf("t=%v member=%d: %v", ev.At, ev.Member, err))
+				}
+			})
+		}
+	}
 	sink := cl.Sink()
 	if record {
 		st.rec = trace.NewRecorder(cl.Engine)
@@ -360,6 +405,24 @@ func (ev Event) describe() string {
 	if ev.Action == ActionRamp {
 		return fmt.Sprintf("t=%v ramp rate to %g pps", ev.At, ev.Rate)
 	}
+	if ev.Action == ActionSpecUpdate {
+		e := ev.Entry
+		out := fmt.Sprintf("t=%v spec_update member=%d", ev.At, ev.Member)
+		if e.NormAdmin() == controlplane.AdminRemoved {
+			return out + " removed"
+		}
+		out += fmt.Sprintf(" w=%g", e.NormWeight())
+		if e.Pods > 0 {
+			out += fmt.Sprintf(" pods=%d", e.Pods)
+		}
+		if e.NormAdmin() == controlplane.AdminDrained {
+			out += " drained"
+		}
+		if e.Backend != "" {
+			out += " backend=" + e.Backend
+		}
+		return out
+	}
 	f := ev.Fault
 	var b strings.Builder
 	fmt.Fprintf(&b, "t=%v %s %s node=%d", ev.At, ev.Action, f.Kind, f.Node)
@@ -417,6 +480,15 @@ func (s *Scenario) renderReport(st *runState, res *Result) string {
 		fmt.Fprintf(&b, "  faults\n")
 		for _, e := range log {
 			fmt.Fprintf(&b, "    %s\n", e)
+		}
+	}
+	if st.recon != nil {
+		fmt.Fprintf(&b, "  reconcile   interval=%v: %s\n", st.recon.Interval(), st.recon.Summary())
+		for _, step := range st.recon.Steps() {
+			fmt.Fprintf(&b, "    %s\n", step)
+		}
+		for _, e := range st.specErrs {
+			fmt.Fprintf(&b, "    spec_update ERR %s\n", e)
 		}
 	}
 	m := measure(st.cl)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"albatross/internal/controlplane"
 	"albatross/internal/errs"
 	"albatross/internal/faults"
 	"albatross/internal/flowtable"
@@ -36,7 +37,12 @@ type Scenario struct {
 
 	Fleet    Fleet
 	Workload Workload
-	// Events is the timed script: fault injections and workload ramps.
+	// Spec is the optional desired-state block: when present, a
+	// control-plane reconciler drives the fleet toward it over real eBGP
+	// proxy sessions, and spec_update events steer it mid-run.
+	Spec *ReconcileSpec
+	// Events is the timed script: fault injections, workload ramps, and
+	// desired-state updates.
 	Events []Event
 	// Observability configures the telemetry taps of the run.
 	Observability Observability
@@ -121,6 +127,9 @@ const (
 	ActionFlap
 	// ActionRamp switches the workload's offered rate.
 	ActionRamp
+	// ActionSpecUpdate replaces one member's desired-state entry in the
+	// reconciler's spec (requires a top-level spec block).
+	ActionSpecUpdate
 )
 
 func (a Action) String() string {
@@ -133,6 +142,8 @@ func (a Action) String() string {
 		return "flap"
 	case ActionRamp:
 		return "ramp"
+	case ActionSpecUpdate:
+		return "spec_update"
 	default:
 		return fmt.Sprintf("action(%d)", uint8(a))
 	}
@@ -148,6 +159,12 @@ type Event struct {
 	Fault faults.Fault
 	// Rate is the new offered rate for ramp.
 	Rate float64
+	// Member is the member slot a spec_update rewrites.
+	Member int
+	// Entry is the member's new desired-state entry for spec_update —
+	// the full entry, not a delta: omitted keys take their defaults
+	// (weight 1.0, pods unmanaged, admin up).
+	Entry controlplane.MemberSpec
 	// Line is the source line (0 for programmatic scenarios).
 	Line int
 }
@@ -190,7 +207,7 @@ type Observability struct {
 type Assertion struct {
 	// Type selects the check: conservation, zero_loss, max_loss,
 	// remap_bound, detection_window, latency, min_tx, expected_table,
-	// byte_identity, replay_identity, converge, window_max.
+	// byte_identity, replay_identity, converge, window_max, reconciled.
 	Type string
 	// Fraction is the loss ceiling for max_loss (of sprayed packets).
 	Fraction float64
@@ -444,6 +461,16 @@ func decodeScenario(root *ynode) (*Scenario, error) {
 			return nil, err
 		}
 	}
+	if v := d.take("spec"); v != nil && d.err == nil {
+		if v.kind != kindMap {
+			return nil, yamlErr(v.line, "spec: expected a mapping")
+		}
+		spec, err := decodeSpecBlock(v, "spec")
+		if err != nil {
+			return nil, err
+		}
+		s.Spec = spec
+	}
 	if v := d.take("events"); v != nil && d.err == nil {
 		if v.kind != kindSeq {
 			return nil, yamlErr(v.line, "events: expected a sequence")
@@ -612,11 +639,22 @@ func decodeEvent(n *ynode) (Event, error) {
 		if d.err == nil && n.get("rate") == nil {
 			return Event{}, yamlErr(n.line, "event: ramp needs a \"rate\"")
 		}
+	case "spec_update":
+		ev.Action = ActionSpecUpdate
+		ev.Member = -1
+		d.integer("member", &ev.Member)
+		if d.err == nil && n.get("member") == nil {
+			return Event{}, yamlErr(n.line, "event: spec_update needs a \"member\" slot")
+		}
+		d.float("weight", &ev.Entry.Weight)
+		d.integer("pods", &ev.Entry.Pods)
+		d.str("admin", &ev.Entry.Admin)
+		d.str("backend", &ev.Entry.Backend)
 	case "":
 		return Event{}, yamlErr(n.line, "event: missing \"action\"")
 	default:
 		return Event{}, yamlErr(n.get("action").line,
-			"event: unknown action %q (want inject_failure|drain|flap|ramp)", action)
+			"event: unknown action %q (want inject_failure|drain|flap|ramp|spec_update)", action)
 	}
 	if err := d.finish(); err != nil {
 		return Event{}, err
@@ -687,7 +725,7 @@ func decodeAssertion(n *ynode) (Assertion, error) {
 		return Assertion{}, yamlErr(n.line, "assertion: missing \"type\"")
 	}
 	switch a.Type {
-	case "conservation", "zero_loss", "replay_identity":
+	case "conservation", "zero_loss", "replay_identity", "reconciled":
 		// No parameters.
 	case "max_loss":
 		d.float("fraction", &a.Fraction)
@@ -763,7 +801,7 @@ func decodeAssertion(n *ynode) (Assertion, error) {
 		}
 	default:
 		return Assertion{}, yamlErr(n.get("type").line,
-			"assertion: unknown type %q (want conservation|zero_loss|max_loss|remap_bound|detection_window|latency|min_tx|expected_table|byte_identity|replay_identity|converge|window_max)", a.Type)
+			"assertion: unknown type %q (want conservation|zero_loss|max_loss|remap_bound|detection_window|latency|min_tx|expected_table|byte_identity|replay_identity|converge|window_max|reconciled)", a.Type)
 	}
 	if err := d.finish(); err != nil {
 		return Assertion{}, err
@@ -834,7 +872,25 @@ func (s *Scenario) Validate() error {
 	if w.ACLDenied < 0 || w.ACLDenied > 1 {
 		return bad(0, "%s: workload.acl_denied must be in [0,1]", s.Name)
 	}
+	if s.Spec != nil {
+		if err := s.Spec.validate(f.Nodes); err != nil {
+			return err
+		}
+	}
 	for i, ev := range s.Events {
+		if ev.Action == ActionSpecUpdate {
+			if s.Spec == nil {
+				return bad(ev.Line, "%s: event %d: spec_update requires a top-level spec block", s.Name, i)
+			}
+			if ev.Member < 0 {
+				return bad(ev.Line, "%s: event %d: spec_update member must be >= 0", s.Name, i)
+			}
+			probe := controlplane.ClusterSpec{Members: []controlplane.MemberSpec{ev.Entry}}
+			if err := probe.Validate(); err != nil {
+				return bad(ev.Line, "%s: event %d: %v", s.Name, i, err)
+			}
+			continue
+		}
 		if ev.Action == ActionRamp {
 			if ev.Rate < 0 {
 				return bad(ev.Line, "%s: event %d: ramp rate must be >= 0", s.Name, i)
@@ -926,6 +982,10 @@ func (s *Scenario) Validate() error {
 			if a.From < 0 || (a.To != 0 && a.To <= a.From) {
 				return bad(a.Line, "%s: assertion %d: window_max window [from,to] is empty", s.Name, i)
 			}
+		case "reconciled":
+			if s.Spec == nil {
+				return bad(a.Line, "%s: assertion %d: reconciled requires a top-level spec block", s.Name, i)
+			}
 		case "conservation", "zero_loss", "replay_identity":
 			// No parameters to validate.
 		case "":
@@ -942,7 +1002,7 @@ func (s *Scenario) Validate() error {
 func (s *Scenario) FaultPlan() *faults.Plan {
 	var plan faults.Plan
 	for _, ev := range s.Events {
-		if ev.Action == ActionRamp {
+		if ev.Action == ActionRamp || ev.Action == ActionSpecUpdate {
 			continue
 		}
 		plan.Faults = append(plan.Faults, ev.Fault)

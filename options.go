@@ -5,6 +5,7 @@ import (
 
 	"albatross/internal/cachesim"
 	"albatross/internal/cluster"
+	"albatross/internal/controlplane"
 	"albatross/internal/core"
 	"albatross/internal/errs"
 	"albatross/internal/faults"
@@ -45,6 +46,10 @@ type Config struct {
 	// SnapshotEvery samples a telemetry timeline every this much virtual
 	// time on NewCluster deployments (0 = off). See WithSnapshotEvery.
 	SnapshotEvery Duration
+	// Spec is a desired-state block attached to NewCluster deployments:
+	// a Reconciler is built over the cluster and armed on its engine. See
+	// WithSpec.
+	Spec *ReconcileSpec
 }
 
 // Option configures a deployment built with New or NewCluster. Options
@@ -126,6 +131,16 @@ func WithBurst(n int) Option {
 	return func(c *Config) { c.Node.Burst = n }
 }
 
+// WithSpec attaches a desired-state block to a NewCluster deployment: a
+// Reconciler is built from spec.ClusterSpec() and spec.Config(), armed on
+// the cluster engine, and registered as the cluster's controller —
+// retrieve it with Cluster.Controller().(*Reconciler). The spec must
+// cover every member of the initial fleet (WithNodes). Load a spec from
+// YAML with LoadSpec / LoadSpecFile, or fill a ReconcileSpec directly.
+func WithSpec(spec *ReconcileSpec) Option {
+	return func(c *Config) { c.Spec = spec }
+}
+
 func resolve(opts []Option) Config {
 	var cfg Config
 	for _, opt := range opts {
@@ -155,7 +170,7 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 	}
 	plan := cfg.Node.Faults
 	cfg.Node.Faults = nil
-	return cluster.New(cluster.Config{
+	c, err := cluster.New(cluster.Config{
 		Nodes:         cfg.Nodes,
 		Seed:          cfg.Node.Seed,
 		Node:          cfg.Node,
@@ -163,6 +178,15 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 		Shards:        cfg.Shards,
 		SnapshotEvery: cfg.SnapshotEvery,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Spec != nil {
+		if _, err := controlplane.NewReconciler(c, cfg.Spec.ClusterSpec(), cfg.Spec.Config()); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // Fault-injection types (see internal/faults). A FaultPlan is built with

@@ -23,10 +23,11 @@ type (
 
 // Scripted event actions.
 const (
-	ScenarioInject = scenario.ActionInject
-	ScenarioDrain  = scenario.ActionDrain
-	ScenarioFlap   = scenario.ActionFlap
-	ScenarioRamp   = scenario.ActionRamp
+	ScenarioInject     = scenario.ActionInject
+	ScenarioDrain      = scenario.ActionDrain
+	ScenarioFlap       = scenario.ActionFlap
+	ScenarioRamp       = scenario.ActionRamp
+	ScenarioSpecUpdate = scenario.ActionSpecUpdate
 )
 
 // LoadScenario parses and validates a scenario document. Every parse or
